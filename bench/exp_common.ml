@@ -1,0 +1,28 @@
+(* Shared helpers for the experiment tables. *)
+
+module Rng = Prelude.Rng
+module Table = Prelude.Table
+module Stats = Prelude.Stats
+
+let base_seed = 0xCA51E
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* Measured/claimed comparison cell: "1.2345 <= 2.5000 ok". *)
+let vs measured bound =
+  Printf.sprintf "%s %s" (Table.fmt_ratio measured)
+    (if measured <= bound +. 1e-9 then "ok" else "VIOLATED")
+
+let ratios_summary (xs : float array) =
+  let s = Stats.summarize xs in
+  (s.Stats.mean, s.Stats.max)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

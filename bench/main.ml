@@ -1,0 +1,53 @@
+(* The benchmark harness: regenerates every experiment table/figure of
+   EXPERIMENTS.md. Run everything: `dune exec bench/main.exe`; a subset:
+   `dune exec bench/main.exe -- t1 t4 f1`. *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("t1", "Theorem 3.3 ratio, general sizes", Exp_sos.t1);
+    ("t2", "Theorem 3.3 ratio, unit sizes + m-maximal variant", Exp_sos.t2);
+    ( "t3", "Corollary 3.9 bin packing (exact + at scale)",
+      fun () ->
+        Exp_binpack.t3_small ();
+        Exp_binpack.t3_large () );
+    ("t4", "Theorem 4.8 SAS ratio", Exp_sas.t4);
+    ("t5", "Lemmas 4.1/4.2 per-task bounds", Exp_sas.t5);
+    ("t6", "crossover vs baselines", Exp_sos.t6);
+    ( "t7", "running time (Bechamel + scaling)",
+      fun () ->
+        Exp_perf.t7_bechamel ();
+        Exp_perf.t7_scaling () );
+    ("f1", "utilization profile figure", Exp_sos.f1);
+    ("f2", "window trajectory figure", Exp_sos.f2);
+    ("f3", "guarantee curve figure", Exp_sos.f3);
+    ("a1", "ablations", Exp_sos.a1);
+    ("e1", "extension: price of non-preemption", Exp_sos.e1);
+    ("e2", "extension: joint vs fixed assignment", Exp_sos.e2);
+    ("e3", "extension: online arrivals", Exp_sos.e3);
+    ("e4", "extension: input stability", Exp_sos.e4);
+    ("h1", "Theorem 2.1 hardness reduction demo", Exp_binpack.h1);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--" && a <> "--table" && a <> "--figure") args in
+  let selected =
+    if args = [] then all
+    else
+      List.filter_map
+        (fun a ->
+          match List.find_opt (fun (id, _, _) -> id = a) all with
+          | Some exp -> Some exp
+          | None ->
+              Printf.eprintf "unknown experiment %S (known: %s)\n" a
+                (String.concat " " (List.map (fun (id, _, _) -> id) all));
+              exit 2)
+        args
+  in
+  Printf.printf
+    "Sharing is Caring (SPAA 2017) — experiment harness\n\
+     paper: Kling, Maecker, Riechers, Skopalik. All bounds refer to DESIGN.md /\n\
+     EXPERIMENTS.md; every table is deterministic (fixed seeds).\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, run) -> run ()) selected;
+  Printf.printf "\ntotal: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,374 @@
+(* sosctl — command-line front end for the Sharing-is-Caring scheduler.
+
+   Subcommands: generate instances, solve them with any of the implemented
+   algorithms, run quick ratio experiments, pack bins, schedule task sets,
+   and demo the hardness reduction. `sosctl <cmd> --help` for details. *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let family_of_name name =
+  match
+    List.find_opt
+      (fun f -> f.Workload.Sos_gen.name = name)
+      (Workload.Sos_gen.all_families
+      @ List.map Workload.Sos_gen.unit_of Workload.Sos_gen.all_families)
+  with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown family %s (try: %s, or append -unit)" name
+           (String.concat ", "
+              (List.map (fun f -> f.Workload.Sos_gen.name) Workload.Sos_gen.all_families)))
+
+(* ------------------------------------------------------------------ gen *)
+
+let gen_cmd =
+  let run family n m seed scale =
+    match family_of_name family with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok family ->
+        let rng = Prelude.Rng.create seed in
+        let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
+        print_string (Sos.Instance.to_string inst);
+        0
+  in
+  let family =
+    Arg.(value & opt string "bimodal" & info [ "family"; "f" ] ~doc:"Workload family.")
+  in
+  let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Number of jobs.") in
+  let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Number of processors.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let scale =
+    Arg.(
+      value
+      & opt int Workload.Sos_gen.default_scale
+      & info [ "scale" ] ~doc:"Resource units per time step.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random SoS instance (text format on stdout).")
+    Term.(const run $ family $ n $ m $ seed $ scale)
+
+(* ---------------------------------------------------------------- solve *)
+
+let algo_conv =
+  Arg.enum
+    [
+      ("window", `Window); ("listing1", `Listing1); ("unit", `Unit);
+      ("unit-np", `Unit_np);
+      ("list-sched", `List_sched); ("greedy", `Greedy);
+      ("naive-fracture", `Naive); ("no-move", `No_move); ("literal", `Literal);
+      ("preemptive", `Preemptive); ("fixed-assignment", `Fixed);
+    ]
+
+let solve_cmd =
+  let run algo file gantt quiet =
+    let inst = Sos.Instance.of_string (read_input file) in
+    let preemptive, sched =
+      match algo with
+      | `Window -> (false, Sos.Fast.run inst)
+      | `Listing1 -> (false, Sos.Listing1.run ~check:true inst)
+      | `Literal -> (false, Sos.Fast.run ~variant:`Literal inst)
+      | `Unit -> (true, Sos.Splittable.run inst)
+      | `Unit_np -> (false, Sos.Splittable.run_nonpreemptive inst)
+      | `List_sched -> (false, Baselines.List_scheduling.run inst)
+      | `Greedy -> (false, Baselines.Greedy_fair.run inst)
+      | `Naive -> (false, Sos.Ablation.run_naive_fracture inst)
+      | `No_move -> (false, Sos.Ablation.run_no_move inst)
+      | `Preemptive -> (true, Sos.Preemptive.run inst)
+      | `Fixed -> (false, Baselines.Fixed_assignment.run inst)
+    in
+    (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
+    | Ok () -> ()
+    | Error v ->
+        Printf.eprintf "INVALID schedule at step %d: %s\n" v.Sos.Schedule.at_step
+          v.Sos.Schedule.reason;
+        exit 3);
+    let lb = Sos.Bounds.lower_bound inst in
+    Printf.printf "jobs        : %d\n" (Sos.Instance.n inst);
+    Printf.printf "processors  : %d\n" inst.Sos.Instance.m;
+    Printf.printf "makespan    : %d\n" sched.Sos.Schedule.makespan;
+    Printf.printf "lower bound : %d\n" lb;
+    Printf.printf "ratio vs LB : %.4f\n"
+      (Sos.Bounds.theorem_3_3_bound inst ~makespan:sched.Sos.Schedule.makespan);
+    Printf.printf "wasted res. : %d units (%.2f steps worth)\n"
+      (Sos.Schedule.total_waste sched)
+      (float_of_int (Sos.Schedule.total_waste sched)
+      /. float_of_int inst.Sos.Instance.scale);
+    if inst.Sos.Instance.m >= 3 then
+      Printf.printf "Thm 3.3 bnd : %.4f\n"
+        (Sos.Bounds.guarantee_general ~m:inst.Sos.Instance.m);
+    if (not quiet) && gantt && not preemptive then begin
+      print_newline ();
+      print_string (Sos.Schedule.render_gantt sched)
+    end;
+    0
+  in
+  let algo =
+    Arg.(value & opt algo_conv `Window & info [ "algo"; "a" ] ~doc:"Algorithm.")
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file or - for stdin.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Summary only.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an SoS instance and validate the schedule.")
+    Term.(const run $ algo $ file $ gantt $ quiet)
+
+(* ---------------------------------------------------------------- ratio *)
+
+let ratio_cmd =
+  let run family n m reps seed =
+    match family_of_name family with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok family ->
+        let ratios =
+          Array.init reps (fun rep ->
+              let rng = Prelude.Rng.create (seed + rep) in
+              let inst = Workload.Sos_gen.generate rng family ~n ~m () in
+              let s = Sos.Fast.run inst in
+              Sos.Bounds.theorem_3_3_bound inst ~makespan:s.Sos.Schedule.makespan)
+        in
+        let s = Prelude.Stats.summarize ratios in
+        Printf.printf "family=%s n=%d m=%d reps=%d\n" family.Workload.Sos_gen.name n m reps;
+        Printf.printf "ratio vs LB: mean=%.4f p50=%.4f max=%.4f\n" s.Prelude.Stats.mean
+          s.Prelude.Stats.p50 s.Prelude.Stats.max;
+        if m >= 3 then
+          Printf.printf "proven bound: %.4f\n" (Sos.Bounds.guarantee_general ~m);
+        0
+  in
+  let family = Arg.(value & opt string "bimodal" & info [ "family"; "f" ]) in
+  let n = Arg.(value & opt int 100 & info [ "n" ]) in
+  let m = Arg.(value & opt int 8 & info [ "m" ]) in
+  let reps = Arg.(value & opt int 20 & info [ "reps" ]) in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "ratio" ~doc:"Quick approximation-ratio experiment on a workload family.")
+    Term.(const run $ family $ n $ m $ reps $ seed)
+
+(* -------------------------------------------------------------- binpack *)
+
+let binpack_cmd =
+  let run k capacity sizes show optimal =
+    let sizes = List.map int_of_string (String.split_on_char ',' sizes) in
+    let inst = Binpack.Packing.instance ~k ~capacity sizes in
+    let packing = Binpack.Algorithms.window inst in
+    Binpack.Packing.assert_valid inst packing;
+    Printf.printf "items       : %d\n" (List.length sizes);
+    Printf.printf "bins used   : %d\n" (Binpack.Packing.bins_used packing);
+    Printf.printf "lower bound : %d\n" (Binpack.Packing.lower_bound inst);
+    Printf.printf "fragments   : %d\n" (Binpack.Packing.fragments packing);
+    (match Exact.Binpack_exact.optimum ~node_limit:500_000 inst with
+    | Some opt -> Printf.printf "exact OPT   : %d\n" opt
+    | None -> Printf.printf "exact OPT   : (search limit exceeded)\n");
+    if show then begin
+      Printf.printf "\nwindow packing:\n";
+      Format.printf "%a" Binpack.Packing.pp packing
+    end;
+    if optimal then begin
+      match Exact.Binpack_exact.optimum_packing ~node_limit:500_000 inst with
+      | Some (opt, witness) ->
+          Binpack.Packing.assert_valid inst witness;
+          Printf.printf "\noptimal packing (%d bins):\n" opt;
+          Format.printf "%a" Binpack.Packing.pp witness
+      | None -> Printf.printf "\noptimal packing: (search limit exceeded)\n"
+    end;
+    0
+  in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Cardinality constraint.") in
+  let capacity = Arg.(value & opt int 1000 & info [ "capacity"; "c" ]) in
+  let sizes =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SIZES" ~doc:"Comma-separated item sizes (in capacity units).")
+  in
+  let show = Arg.(value & flag & info [ "show" ] ~doc:"Print the window packing.") in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ] ~doc:"Also print an exact optimal packing.")
+  in
+  Cmd.v
+    (Cmd.info "binpack"
+       ~doc:"Pack splittable items under a cardinality constraint (Corollary 3.9).")
+    Term.(const run $ k $ capacity $ sizes $ show $ optimal)
+
+(* ------------------------------------------------------------------ sas *)
+
+let sas_cmd =
+  let run profile k m seed =
+    let profile =
+      List.find_opt
+        (fun p -> p.Workload.Sas_gen.name = profile)
+        Workload.Sas_gen.all_profiles
+    in
+    match profile with
+    | None ->
+        Printf.eprintf "unknown profile (try: %s)\n"
+          (String.concat ", "
+             (List.map (fun p -> p.Workload.Sas_gen.name) Workload.Sas_gen.all_profiles));
+        1
+    | Some profile ->
+        let rng = Prelude.Rng.create seed in
+        let inst = Workload.Sas_gen.generate rng profile ~k ~m () in
+        let report = Sas.Combined.run inst in
+        Printf.printf "tasks          : %d (T1: %d, T2: %d)\n" k
+          report.Sas.Combined.t1_count report.Sas.Combined.t2_count;
+        Printf.printf "sum completions: %d\n" report.Sas.Combined.sum_completions;
+        Printf.printf "avg completion : %.2f\n"
+          (float_of_int report.Sas.Combined.sum_completions /. float_of_int k);
+        Printf.printf "makespan       : %d\n" report.Sas.Combined.makespan;
+        Printf.printf "lower bound    : %d\n" report.Sas.Combined.lower_bound;
+        Printf.printf "ratio vs LB    : %.4f\n" (Sas.Combined.ratio report);
+        Printf.printf "Thm 4.8 bound  : %.4f (+ o(1))\n" (Sas.Bounds.guarantee ~m);
+        0
+  in
+  let profile = Arg.(value & opt string "cloud-mix" & info [ "profile"; "p" ]) in
+  let k = Arg.(value & opt int 20 & info [ "k" ] ~doc:"Number of tasks.") in
+  let m = Arg.(value & opt int 8 & info [ "m" ]) in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "sas"
+       ~doc:"Schedule a task set for average completion time (Theorem 4.8).")
+    Term.(const run $ profile $ k $ m $ seed)
+
+(* --------------------------------------------------------------- export *)
+
+let export_cmd =
+  let run file what algo =
+    let inst = Sos.Instance.of_string (read_input file) in
+    (match what with
+    | `Instance -> print_string (Sos.Export.instance_to_csv inst)
+    | `Schedule | `Utilization | `Trace | `Svg -> begin
+        let sched, trace =
+          match algo with
+          | `Listing1 | `Window | `Literal -> Sos.Listing1.run_traced inst
+          | `Unit -> (Sos.Splittable.run inst, [])
+          | `Unit_np -> (Sos.Splittable.run_nonpreemptive inst, [])
+          | `List_sched -> (Baselines.List_scheduling.run inst, [])
+          | `Greedy -> (Baselines.Greedy_fair.run inst, [])
+          | `Naive -> (Sos.Ablation.run_naive_fracture inst, [])
+          | `No_move -> (Sos.Ablation.run_no_move inst, [])
+          | `Preemptive -> (Sos.Preemptive.run inst, [])
+          | `Fixed -> (Baselines.Fixed_assignment.run inst, [])
+        in
+        match what with
+        | `Schedule -> print_string (Sos.Export.schedule_to_csv sched)
+        | `Utilization -> print_string (Sos.Export.utilization_to_csv sched)
+        | `Trace -> print_string (Sos.Export.trace_to_csv trace inst)
+        | `Svg -> print_string (Sos.Svg.render ~title:"sosctl schedule" sched)
+        | `Instance -> assert false
+      end);
+    0
+  in
+  let what =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("schedule", `Schedule); ("instance", `Instance);
+               ("utilization", `Utilization); ("trace", `Trace); ("svg", `Svg);
+             ])
+          `Schedule
+      & info [ "what"; "w" ] ~doc:"What to export (CSV, or an SVG Gantt chart).")
+  in
+  let algo = Arg.(value & opt algo_conv `Listing1 & info [ "algo"; "a" ]) in
+  let file = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export instances, schedules, traces as CSV.")
+    Term.(const run $ file $ what $ algo)
+
+(* ------------------------------------------------------------- hardness *)
+
+let hardness_cmd =
+  let run numbers =
+    let numbers = List.map int_of_string (String.split_on_char ',' numbers) in
+    let tp = Exact.Three_partition.create numbers in
+    let yes = Exact.Three_partition.solvable tp in
+    let q = Exact.Three_partition.yes_gap tp in
+    Printf.printf "3-partition  : %s\n" (if yes then "YES" else "NO");
+    Printf.printf "q (threshold): %d\n" q;
+    (match
+       Exact.Binpack_exact.optimum ~node_limit:5_000_000
+         (Exact.Three_partition.to_binpack tp)
+     with
+    | Some opt ->
+        Printf.printf "packing OPT  : %d\n" opt;
+        Printf.printf "gap holds    : %b\n" (if yes then opt = q else opt > q)
+    | None -> Printf.printf "packing OPT  : (search limit exceeded)\n");
+    let sched = Sos.Splittable.run (Exact.Three_partition.to_sos tp) in
+    Printf.printf "window steps : %d\n" sched.Sos.Schedule.makespan;
+    0
+  in
+  let numbers =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NUMBERS" ~doc:"Comma-separated 3-Partition numbers (3q of them).")
+  in
+  Cmd.v
+    (Cmd.info "hardness" ~doc:"Run the Theorem 2.1 reduction on a 3-Partition instance.")
+    Term.(const run $ numbers)
+
+(* --------------------------------------------------------------- corpus *)
+
+let corpus_cmd =
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun e ->
+            Printf.printf "%-18s n=%-4d m=%-2d  %s\n" e.Workload.Corpus.name
+              (Sos.Instance.n e.Workload.Corpus.instance)
+              e.Workload.Corpus.instance.Sos.Instance.m e.Workload.Corpus.note)
+          Workload.Corpus.all;
+        0
+    | Some name -> begin
+        match Workload.Corpus.find name with
+        | None ->
+            Printf.eprintf "unknown corpus entry %S\n" name;
+            1
+        | Some e ->
+            let inst = e.Workload.Corpus.instance in
+            Printf.printf "%s: %s\n\n" e.Workload.Corpus.name e.Workload.Corpus.note;
+            let lb = Sos.Bounds.lower_bound inst in
+            Printf.printf "  %-22s %d\n" "lower bound" lb;
+            (match e.Workload.Corpus.exact_opt with
+            | Some opt -> Printf.printf "  %-22s %d\n" "exact optimum" opt
+            | None -> ());
+            List.iter
+              (fun (label, f) ->
+                Printf.printf "  %-22s %d\n" label (f inst).Sos.Schedule.makespan)
+              [
+                ("window", Sos.Fast.run ?variant:None);
+                ("literal grow-left", Sos.Fast.run ~variant:`Literal);
+                ("naive fracture", Sos.Ablation.run_naive_fracture);
+                ("no move-right", Sos.Ablation.run_no_move);
+                ("list scheduling", fun i -> Baselines.List_scheduling.run i);
+                ("greedy fair", Baselines.Greedy_fair.run);
+              ];
+            0
+      end
+  in
+  let entry_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Entry to run.")
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List or run the fixed regression corpus.")
+    Term.(const run $ entry_name)
+
+let () =
+  let doc = "Multiprocessor scheduling with a sharable resource (SPAA 2017)" in
+  let info = Cmd.info "sosctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; solve_cmd; ratio_cmd; binpack_cmd; sas_cmd; export_cmd; corpus_cmd; hardness_cmd ]))

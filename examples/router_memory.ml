@@ -1,0 +1,66 @@
+(* Pipelined router forwarding engines — the original motivation of the bin
+   packing problem (Chung, Graham, Mao, Varghese 2006) that Corollary 3.9
+   improves on: forwarding tables (items) must be distributed over memory
+   banks (bins). A table may be split across banks, but each bank can serve
+   at most k lookup pipelines, i.e. hold parts of at most k tables. Goal:
+   as few memory banks as possible.
+
+   Run with: dune exec examples/router_memory.exe *)
+
+module Rng = Prelude.Rng
+module Table = Prelude.Table
+module P = Binpack.Packing
+module A = Binpack.Algorithms
+
+let () =
+  (* Banks of 256 MB; 28 forwarding tables between 16 MB and 480 MB. *)
+  let capacity = 256 in
+  let rng = Rng.create 2024 in
+  let sizes = List.init 28 (fun _ -> Rng.int_in rng 16 480) in
+  Printf.printf "28 forwarding tables, %d MB total, banks of %d MB\n\n"
+    (List.fold_left ( + ) 0 sizes) capacity;
+
+  let t =
+    Table.create
+      [
+        ("k (pipelines/bank)", Table.Right); ("lower bound", Table.Right);
+        ("window (Cor 3.9)", Table.Right); ("next-fit", Table.Right);
+        ("splits (window)", Table.Right); ("guarantee", Table.Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let inst = P.instance ~k ~capacity sizes in
+      let w = A.window inst in
+      let nf = A.next_fit inst in
+      P.assert_valid inst w;
+      P.assert_valid inst nf;
+      Table.add_row t
+        [
+          Table.fmt_int k;
+          Table.fmt_int (P.lower_bound inst);
+          Table.fmt_int (P.bins_used w);
+          Table.fmt_int (P.bins_used nf);
+          Table.fmt_int (P.fragments w);
+          Printf.sprintf "1+1/(k-1) = %.3f" (A.guarantee_window ~k);
+        ])
+    [ 2; 3; 4; 6; 8 ];
+  Table.print t;
+
+  (* Show one concrete bank layout. *)
+  let inst = P.instance ~k:3 ~capacity sizes in
+  let packing = A.window inst in
+  Printf.printf "bank layout for k = 3 (%d banks):\n" (P.bins_used packing);
+  List.iteri
+    (fun b bin ->
+      if b < 8 then begin
+        let parts =
+          List.map (fun (item, mb) -> Printf.sprintf "t%02d:%dMB" item mb) bin
+        in
+        let used = List.fold_left (fun acc (_, mb) -> acc + mb) 0 bin in
+        Printf.printf "  bank %2d [%3d/%3d MB] %s\n" b used capacity
+          (String.concat " " parts)
+      end)
+    packing;
+  if P.bins_used packing > 8 then
+    Printf.printf "  ... (%d more banks)\n" (P.bins_used packing - 8)

@@ -1,0 +1,105 @@
+let next_fit_order order inst =
+  let items = Array.mapi (fun i s -> (i, s)) inst.Packing.sizes in
+  let items = Array.to_list items in
+  let items =
+    match order with
+    | `Input -> items
+    | `Decreasing -> List.sort (fun (_, a) (_, b) -> compare b a) items
+    | `Increasing -> List.sort (fun (_, a) (_, b) -> compare a b) items
+  in
+  let capacity = inst.Packing.capacity and k = inst.Packing.k in
+  (* bins built in reverse; the open bin is carried as (parts, used). *)
+  let close bins bin = if bin = [] then bins else List.rev bin :: bins in
+  let rec pour bins bin used parts item remaining =
+    if remaining = 0 then (bins, bin, used, parts)
+    else begin
+      let room = capacity - used in
+      if room = 0 || parts = k then
+        pour (close bins bin) [] 0 0 item remaining
+      else begin
+        let amount = min room remaining in
+        pour bins ((item, amount) :: bin) (used + amount) (parts + 1) item
+          (remaining - amount)
+      end
+    end
+  in
+  let bins, bin, _, _ =
+    List.fold_left
+      (fun (bins, bin, used, parts) (item, size) ->
+        let bins, bin, used, parts = pour bins bin used parts item size in
+        (bins, bin, used, parts))
+      ([], [], 0, 0) items
+  in
+  List.rev (close bins bin)
+
+let next_fit inst = next_fit_order `Input inst
+let next_fit_decreasing inst = next_fit_order `Decreasing inst
+let next_fit_increasing inst = next_fit_order `Increasing inst
+
+let first_fit_order order inst =
+  let items = Array.to_list (Array.mapi (fun i s -> (i, s)) inst.Packing.sizes) in
+  let items =
+    match order with
+    | `Input -> items
+    | `Decreasing -> List.sort (fun (_, a) (_, b) -> compare b a) items
+  in
+  let capacity = inst.Packing.capacity and k = inst.Packing.k in
+  (* bins as a growable array of (rev parts, used, count). *)
+  let bins = ref [||] in
+  let grow () =
+    bins := Array.append !bins [| ([], 0, 0) |];
+    Array.length !bins - 1
+  in
+  let place item remaining =
+    let rec go b remaining =
+      if remaining = 0 then ()
+      else if b >= Array.length !bins then go (grow ()) remaining
+      else begin
+        let parts, used, count = !bins.(b) in
+        let room = capacity - used in
+        if room = 0 || count = k then go (b + 1) remaining
+        else begin
+          let amount = min room remaining in
+          !bins.(b) <- ((item, amount) :: parts, used + amount, count + 1);
+          go (b + 1) (remaining - amount)
+        end
+      end
+    in
+    go 0 remaining
+  in
+  List.iter (fun (item, size) -> place item size) items;
+  Array.to_list (Array.map (fun (parts, _, _) -> List.rev parts) !bins)
+
+let first_fit inst = first_fit_order `Input inst
+let first_fit_decreasing inst = first_fit_order `Decreasing inst
+
+let window inst =
+  let items =
+    Array.to_list
+      (Array.mapi (fun i s -> { Sos.Splittable.id = i; size = s }) inst.Packing.sizes)
+  in
+  Sos.Splittable.pack items ~size:inst.Packing.k ~budget:inst.Packing.capacity
+
+let of_unit_schedule (sched : Sos.Schedule.t) =
+  (* Schedules address jobs by their sorted position; packings address the
+     caller's original item order — translate via the instance's
+     permutation. *)
+  let original = sched.Sos.Schedule.inst.Sos.Instance.original in
+  List.concat_map
+    (fun (st : Sos.Schedule.step) ->
+      let bin =
+        List.filter_map
+          (fun (a : Sos.Schedule.alloc) ->
+            if a.consumed > 0 then Some (original.(a.job), a.consumed) else None)
+          st.allocs
+      in
+      List.init st.repeat (fun _ -> bin))
+    sched.Sos.Schedule.steps
+
+let guarantee_window ~k =
+  if k < 2 then invalid_arg "Algorithms.guarantee_window: need k >= 2";
+  1.0 +. (1.0 /. float_of_int (k - 1))
+
+let guarantee_next_fit ~k =
+  if k < 1 then invalid_arg "Algorithms.guarantee_next_fit: need k >= 1";
+  2.0 -. (1.0 /. float_of_int k)

@@ -1,0 +1,33 @@
+(** Exact optimum for bin packing with cardinality constraints and
+    splittable items, by branch and bound over a normal form. Intended for
+    small instances (n ≲ 10); used by the benchmark tables to measure true
+    approximation ratios, and by the tests as ground truth.
+
+    Normal form (standard exchange arguments): an optimal packing can be
+    assumed to have (i) a forest-shaped item/bin incidence graph — a cycle
+    of split items lets mass be shifted around the cycle until one part
+    vanishes — and (ii) every bin that contains a part of an item completed
+    later is filled to capacity — otherwise mass from the item's later part
+    can be pulled forward. Ordering each tree's bins in DFS post-order,
+    every bin then consists of items receiving their final part plus at
+    most one "continuing" item that takes exactly the bin's leftover
+    capacity. The search branches over exactly these bin shapes, memoizing
+    on the multiset of remaining sizes. *)
+
+val optimum : ?node_limit:int -> Binpack.Packing.instance -> int option
+(** Minimal number of bins, or [None] if the search exceeds [node_limit]
+    (default 2_000_000) expanded nodes. [Some 0] for the empty instance. *)
+
+val optimum_exn : ?node_limit:int -> Binpack.Packing.instance -> int
+(** Raises [Failure] instead of returning [None]. *)
+
+val optimum_packing :
+  ?node_limit:int -> Binpack.Packing.instance -> (int * Binpack.Packing.packing) option
+(** Like {!optimum} but also reconstructs a witness packing realizing the
+    optimum (re-running the search along the optimal choices). The witness
+    validates against the instance and uses exactly [optimum] bins. *)
+
+val unit_sos_optimum : ?node_limit:int -> Sos.Instance.t -> int option
+(** Optimal preemptive makespan of a unit-size SoS instance (= the bin
+    packing optimum with [k = m]); a lower bound on the non-preemptive
+    optimum. Raises [Invalid_argument] on non-unit sizes. *)

@@ -1,0 +1,86 @@
+let spark_chars = [| '_'; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let sparkline xs =
+  let n = Array.length xs in
+  if n = 0 then ""
+  else begin
+    let mn = Array.fold_left min xs.(0) xs in
+    let mx = Array.fold_left max xs.(0) xs in
+    let span = mx -. mn in
+    let buf = Buffer.create n in
+    Array.iter
+      (fun x ->
+        let level =
+          if span <= 0.0 then 0
+          else begin
+            let l = int_of_float ((x -. mn) /. span *. 9.0) in
+            if l < 0 then 0 else if l > 9 then 9 else l
+          end
+        in
+        Buffer.add_char buf spark_chars.(level))
+      xs;
+    Buffer.contents buf
+  end
+
+let bars ?(width = 50) ?labels xs =
+  let n = Array.length xs in
+  (match labels with
+  | Some ls when Array.length ls <> n -> invalid_arg "Ascii_plot.bars: label arity"
+  | _ -> ());
+  if n = 0 then ""
+  else begin
+    let mx = Array.fold_left max 0.0 xs in
+    let label_width =
+      match labels with
+      | None -> 0
+      | Some ls -> Array.fold_left (fun w l -> max w (String.length l)) 0 ls
+    in
+    let buf = Buffer.create (n * (width + label_width + 16)) in
+    Array.iteri
+      (fun i x ->
+        (match labels with
+        | Some ls ->
+            Buffer.add_string buf ls.(i);
+            Buffer.add_string buf (String.make (label_width - String.length ls.(i) + 1) ' ')
+        | None -> ());
+        let len =
+          if mx <= 0.0 then 0 else int_of_float (x /. mx *. float_of_int width)
+        in
+        Buffer.add_string buf (String.make len '#');
+        Buffer.add_string buf (Printf.sprintf "  %.3f\n" x))
+      xs;
+    Buffer.contents buf
+  end
+
+let series ?(height = 10) ?title ~x_label ~y_label xs =
+  let n = Array.length xs in
+  let buf = Buffer.create 1024 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  if n = 0 then Buffer.contents buf
+  else begin
+    let mn = Array.fold_left min xs.(0) xs in
+    let mx = Array.fold_left max xs.(0) xs in
+    let span = if mx -. mn <= 0.0 then 1.0 else mx -. mn in
+    let grid = Array.make_matrix height n ' ' in
+    Array.iteri
+      (fun i x ->
+        let row =
+          int_of_float ((x -. mn) /. span *. float_of_int (height - 1))
+        in
+        let row = if row < 0 then 0 else if row >= height then height - 1 else row in
+        for r = 0 to row do
+          grid.(r).(i) <- (if r = row then '*' else '|')
+        done)
+      xs;
+    Buffer.add_string buf (Printf.sprintf "%s (max=%.3f, min=%.3f)\n" y_label mx mn);
+    for r = height - 1 downto 0 do
+      Buffer.add_string buf "  ";
+      Array.iter (fun c -> Buffer.add_char buf c) grid.(r);
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.make n '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf ("  " ^ x_label ^ " ->\n");
+    Buffer.contents buf
+  end

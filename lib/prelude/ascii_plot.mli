@@ -1,0 +1,18 @@
+(** Tiny ASCII charting for the "figure" experiments (F1, F2).
+
+    Renders time series as sparklines or filled bar charts using plain ASCII
+    so output survives any terminal and the captured bench_output.txt. *)
+
+val sparkline : float array -> string
+(** One-line sparkline; values are scaled to the series min/max. Empty string
+    on the empty array. *)
+
+val bars : ?width:int -> ?labels:string array -> float array -> string
+(** Horizontal bar chart, one row per value, scaled to the series max.
+    [labels] (if given) must have the same length as the data. *)
+
+val series :
+  ?height:int -> ?title:string -> x_label:string -> y_label:string ->
+  float array -> string
+(** A small line/column chart of [height] rows (default 10). The x axis is
+    the array index. *)

@@ -1,0 +1,30 @@
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else begin
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+  end
+
+let gcd a b =
+  let g, _, _ = egcd (abs a) (abs b) in
+  g
+
+let min_congruence_solution ~c ~q ~r =
+  if r < 1 then invalid_arg "Numth.min_congruence_solution: r must be >= 1";
+  if q < 0 || q >= r then invalid_arg "Numth.min_congruence_solution: need 0 <= q < r";
+  let c = ((c mod r) + r) mod r in
+  if c = 0 then (if q = 0 then Some 1 else None)
+  else begin
+    let g, inv, _ = egcd c r in
+    if q mod g <> 0 then None
+    else begin
+      let r' = r / g in
+      let inv = ((inv mod r') + r') mod r' in
+      let i = q / g mod r' * inv mod r' in
+      Some (if i = 0 then r' else i)
+    end
+  end
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Numth.ceil_div: non-positive divisor";
+  if a <= 0 then 0 else ((a - 1) / b) + 1

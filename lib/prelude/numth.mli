@@ -1,0 +1,16 @@
+(** Small number-theory helpers used by the step-skipping solver. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, x, y)] with [g = gcd(a,b)] and [a·x + b·y = g].
+    For non-negative inputs (not both zero) [g > 0]. *)
+
+val gcd : int -> int -> int
+
+val min_congruence_solution : c:int -> q:int -> r:int -> int option
+(** Minimal [i ≥ 1] with [i·c ≡ q (mod r)], or [None] if no solution.
+    Requires [r ≥ 1] and [0 ≤ q < r]. For [q = 0] this is the smallest
+    positive [i] with [i·c ≡ 0]: [r / gcd(c mod r, r)], or [1] when
+    [c ≡ 0 (mod r)]. *)
+
+val ceil_div : int -> int -> int
+(** [⌈a/b⌉] for [a ≥ 0], [b ≥ 1]; 0 for [a ≤ 0]. *)

@@ -1,0 +1,40 @@
+let ceil_div a b = if a <= 0 then 0 else ((a - 1) / b) + 1
+
+let prefix_sum_bound values divisor =
+  let sorted = List.sort compare values in
+  let _, total =
+    List.fold_left
+      (fun (prefix, acc) v ->
+        let prefix = prefix + v in
+        (prefix, acc + ceil_div prefix divisor))
+      (0, 0) sorted
+  in
+  total
+
+let resource_order_bound ~scale tasks =
+  prefix_sum_bound (List.map Task.total_req tasks) scale
+
+let count_order_bound ~m tasks = prefix_sum_bound (List.map Task.size tasks) m
+
+let lower_bound ~m ~scale tasks =
+  let k = List.length tasks in
+  max k (max (resource_order_bound ~scale tasks) (count_order_bound ~m tasks))
+
+let guarantee ~m =
+  if m < 4 then invalid_arg "Sas.Bounds.guarantee: need m >= 4";
+  2.0 +. (4.0 /. float_of_int (m - 3))
+
+let prefix_bounds values divisor =
+  let acc = ref 0 in
+  Array.of_list
+    (List.map
+       (fun v ->
+         acc := !acc + v;
+         ceil_div !acc divisor)
+       values)
+
+let listing3_completion_bounds ~budget tasks =
+  prefix_bounds (List.map Task.total_req tasks) budget
+
+let listing4_completion_bounds ~m tasks =
+  prefix_bounds (List.map Task.size tasks) (m - 1)

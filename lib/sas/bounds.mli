@@ -1,0 +1,28 @@
+(** Lower bounds on the optimal sum of completion times (Lemma 4.3) and the
+    guarantee formulas of Section 4. *)
+
+val resource_order_bound : scale:int -> Task.t list -> int
+(** Lemma 4.3 (a): with tasks sorted by non-decreasing total requirement,
+    [OPT ≥ Σ_i ⌈Σ_{l≤i} r(T_l)⌉] — the resource delivers at most 1 per
+    step, and sorting minimizes the prefix sums. (The input need not be
+    sorted; this function sorts.) *)
+
+val count_order_bound : m:int -> Task.t list -> int
+(** Lemma 4.3 (b): with tasks sorted by non-decreasing job count,
+    [OPT ≥ Σ_i ⌈(Σ_{l≤i} |T_l|) / m⌉] — at most [m] jobs finish per step. *)
+
+val lower_bound : m:int -> scale:int -> Task.t list -> int
+(** [max] of the two bounds above and the trivial [k] (every completion
+    time is ≥ 1). *)
+
+val guarantee : m:int -> float
+(** Theorem 4.8's factor [2 + 4/(m−3)] (requires m ≥ 4; the o(1) additive
+    term vanishes with the number of tasks). *)
+
+val listing3_completion_bounds : budget:int -> Task.t list -> int array
+(** Lemma 4.1: in input order (sorted by the caller), task [i]'s completion
+    time is claimed ≤ [⌈Σ_{l≤i} r(T_l) / R⌉]. Returned per input position. *)
+
+val listing4_completion_bounds : m:int -> Task.t list -> int array
+(** Lemma 4.2: task [i]'s completion time is claimed ≤
+    [⌈Σ_{l≤i} |T_l| / (m−1)⌉]. *)

@@ -1,0 +1,93 @@
+type report = {
+  instance : Sas_instance.t;
+  completions : int array;
+  sum_completions : int;
+  makespan : int;
+  lower_bound : int;
+  t1_count : int;
+  t2_count : int;
+  schedule : Sos.Schedule.t;
+}
+
+let sort_for_listing3 tasks =
+  List.sort
+    (fun a b -> compare (Task.total_req a, a.Task.id) (Task.total_req b, b.Task.id))
+    tasks
+
+let sort_for_listing4 tasks =
+  List.sort (fun a b -> compare (Task.size a, a.Task.id) (Task.size b, b.Task.id)) tasks
+
+let run_listing3 ~m ~budget tasks = Stream.run ~m ~budget (sort_for_listing3 tasks)
+let run_listing4 ~m ~budget tasks = Stream.run ~m ~budget (sort_for_listing4 tasks)
+
+let run raw =
+  let inst = Sas_instance.normalize_scale raw in
+  let m = inst.Sas_instance.m and scale = inst.Sas_instance.scale in
+  let t1, t2 = Sas_instance.partition inst in
+  let m1 = m / 2 in
+  let m2 = m - m1 in
+  let budget1 = (m1 - 1) * scale / (m - 1) in
+  let budget2 = scale / 2 in
+  let t1_sorted = sort_for_listing3 t1 in
+  let t2_sorted = sort_for_listing4 t2 in
+  let r1 = Stream.run ~m:m1 ~budget:budget1 t1_sorted in
+  let r2 = Stream.run ~m:m2 ~budget:budget2 t2_sorted in
+  let k = Sas_instance.k inst in
+  let completions = Array.make k 0 in
+  List.iteri
+    (fun pos task -> completions.(task.Task.id) <- r1.Stream.completions.(pos))
+    t1_sorted;
+  List.iteri
+    (fun pos task -> completions.(task.Task.id) <- r2.Stream.completions.(pos))
+    t2_sorted;
+  (* Merge the two parallel step sequences into one global schedule over the
+     flattened unit-job instance. *)
+  let flat = Sas_instance.flat_sos inst in
+  let offsets = Array.make k 0 in
+  let (_ : int) =
+    Array.fold_left
+      (fun acc task ->
+        offsets.(task.Task.id) <- acc;
+        acc + Task.size task)
+      0 inst.Sas_instance.tasks
+  in
+  let sorted_pos = Array.make (Sos.Instance.n flat) 0 in
+  Array.iteri (fun s orig -> sorted_pos.(orig) <- s) flat.Sos.Instance.original;
+  let ids_of order = Array.of_list (List.map (fun task -> task.Task.id) order) in
+  let t1_ids = ids_of t1_sorted and t2_ids = ids_of t2_sorted in
+  let global_alloc ids (a : Stream.alloc) =
+    let caller_pos = offsets.(ids.(a.Stream.task)) + a.Stream.item in
+    { Sos.Schedule.job = sorted_pos.(caller_pos); assigned = a.Stream.amount;
+      consumed = a.Stream.amount }
+  in
+  let rec merge s1 s2 acc =
+    match (s1, s2) with
+    | [], [] -> List.rev acc
+    | a1 :: r1', s2 ->
+        let a2, r2' = (match s2 with a :: r -> (a, r) | [] -> ([], [])) in
+        let allocs =
+          List.map (global_alloc t1_ids) a1 @ List.map (global_alloc t2_ids) a2
+        in
+        merge r1' r2' ({ Sos.Schedule.allocs; repeat = 1 } :: acc)
+    | [], a2 :: r2' ->
+        let allocs = List.map (global_alloc t2_ids) a2 in
+        merge [] r2' ({ Sos.Schedule.allocs; repeat = 1 } :: acc)
+  in
+  let steps = merge r1.Stream.steps r2.Stream.steps [] in
+  let schedule = Sos.Schedule.make flat steps in
+  {
+    instance = inst;
+    completions;
+    sum_completions = Array.fold_left ( + ) 0 completions;
+    makespan = max r1.Stream.makespan r2.Stream.makespan;
+    lower_bound =
+      Bounds.lower_bound ~m ~scale (Array.to_list inst.Sas_instance.tasks);
+    t1_count = List.length t1;
+    t2_count = List.length t2;
+    schedule;
+  }
+
+let ratio report =
+  if report.lower_bound = 0 then
+    if report.sum_completions = 0 then 1.0 else infinity
+  else float_of_int report.sum_completions /. float_of_int report.lower_bound

@@ -1,0 +1,13 @@
+(** Naive SAS baseline: run one task at a time on the full machine with the
+    SoS window engine, in a chosen task order. The obvious operator policy
+    the Theorem 4.8 split improves on (no cross-task parallelism, so small
+    tasks wait behind big ones unless sorted — and even sorted, half the
+    machine idles on low-requirement tasks). *)
+
+type order =
+  | Submission  (** task id order *)
+  | Shortest_first  (** by total requirement, then id — SPT-style *)
+
+val run : ?order:order -> Sas_instance.t -> int array * int
+(** [(completions per task id, sum of completions)]. Default
+    {!Shortest_first} (the strongest serial policy). *)

@@ -1,0 +1,148 @@
+module Splittable = Sos.Splittable
+
+type alloc = { task : int; item : int; amount : int }
+
+type result = {
+  completions : int array;
+  steps : alloc list list;
+  makespan : int;
+}
+
+type task_state = {
+  pos : int;
+  mutable items : Splittable.item list;  (* remaining jobs, sorted by size *)
+}
+
+let run ~m ~budget tasks =
+  if m < 2 then invalid_arg "Stream.run: need m >= 2";
+  if budget < 1 then invalid_arg "Stream.run: need budget >= 1";
+  let states =
+    List.mapi
+      (fun pos task ->
+        let items =
+          Array.to_list
+            (Array.mapi (fun i r -> { Splittable.id = i; size = r }) task.Task.reqs)
+        in
+        { pos; items = Splittable.sort_items items })
+      tasks
+  in
+  let k = List.length states in
+  let completions = Array.make k 0 in
+  let steps = ref [] in
+  let queue = ref states in
+  let t = ref 0 in
+  let total_work =
+    List.fold_left (fun acc task -> acc + Task.total_req task) 0 tasks
+  in
+  let fuel = ref (total_work + (2 * k) + 4) in
+  while !queue <> [] do
+    incr t;
+    decr fuel;
+    if !fuel < 0 then failwith "Stream.run: no progress (internal error)";
+    let budget_left = ref budget in
+    let procs_left = ref m in
+    let step_allocs = ref [] in
+    (* Transition loop: finish whole tasks while they fit entirely. *)
+    let rec finish_whole () =
+      match !queue with
+      | st :: rest ->
+          let total = List.fold_left (fun acc it -> acc + it.Splittable.size) 0 st.items in
+          let count = List.length st.items in
+          if total <= !budget_left && count <= !procs_left then begin
+            List.iter
+              (fun it ->
+                step_allocs :=
+                  { task = st.pos; item = it.Splittable.id; amount = it.Splittable.size }
+                  :: !step_allocs)
+              st.items;
+            st.items <- [];
+            budget_left := !budget_left - total;
+            procs_left := !procs_left - count;
+            completions.(st.pos) <- !t;
+            queue := rest;
+            finish_whole ()
+          end
+      | [] -> ()
+    in
+    finish_whole ();
+    (* Sliding-window step on the first task that does not fit entirely. *)
+    (match !queue with
+    | st :: rest when !procs_left >= 1 && !budget_left >= 1 ->
+        let size = min !procs_left ((!budget_left * (m - 1) / budget) + 1) in
+        let allocs, items' = Splittable.step st.items ~size ~budget:!budget_left in
+        List.iter
+          (fun (item, amount) -> step_allocs := { task = st.pos; item; amount } :: !step_allocs)
+          allocs;
+        st.items <- items';
+        if items' = [] then begin
+          completions.(st.pos) <- !t;
+          queue := rest
+        end
+    | _ -> ());
+    steps := List.rev !step_allocs :: !steps
+  done;
+  { completions; steps = List.rev !steps; makespan = !t }
+
+let sum_completions r = Array.fold_left ( + ) 0 r.completions
+
+let check ~m ~budget tasks result =
+  let k = List.length tasks in
+  let reqs = Array.of_list (List.map (fun t -> Array.copy t.Task.reqs) tasks) in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec steps_loop t = function
+    | [] ->
+        let rec items_loop task =
+          if task >= k then Ok ()
+          else begin
+            let leftover = Array.fold_left ( + ) 0 reqs.(task) in
+            if leftover <> 0 then err "task %d: %d units unscheduled" task leftover
+            else items_loop (task + 1)
+          end
+        in
+        items_loop 0
+    | allocs :: rest -> begin
+        let used = List.fold_left (fun acc a -> acc + a.amount) 0 allocs in
+        let jobs = List.length allocs in
+        let keys = List.map (fun a -> (a.task, a.item)) allocs in
+        if used > budget then err "step %d: budget overused (%d > %d)" t used budget
+        else if jobs > m then err "step %d: %d jobs > m=%d" t jobs m
+        else if List.length (List.sort_uniq compare keys) <> jobs then
+          err "step %d: duplicate allocation" t
+        else begin
+          let bad =
+            List.find_opt
+              (fun a ->
+                a.task < 0 || a.task >= k || a.amount <= 0
+                || a.item < 0
+                || a.item >= Array.length reqs.(a.task)
+                || reqs.(a.task).(a.item) < a.amount)
+              allocs
+          in
+          match bad with
+          | Some a -> err "step %d: bad allocation task=%d item=%d amount=%d" t a.task a.item a.amount
+          | None ->
+              List.iter
+                (fun a -> reqs.(a.task).(a.item) <- reqs.(a.task).(a.item) - a.amount)
+                allocs;
+              steps_loop (t + 1) rest
+        end
+      end
+  in
+  match steps_loop 1 result.steps with
+  | Error _ as e -> e
+  | Ok () ->
+      (* completion = last allocating step; tasks complete in order. *)
+      let last = Array.make k 0 in
+      List.iteri
+        (fun idx allocs -> List.iter (fun a -> last.(a.task) <- idx + 1) allocs)
+        result.steps;
+      let rec check_tasks i =
+        if i >= k then Ok ()
+        else if last.(i) <> result.completions.(i) then
+          err "task %d: completion %d but last allocation at %d" i
+            result.completions.(i) last.(i)
+        else if i > 0 && result.completions.(i) < result.completions.(i - 1) then
+          err "task %d completes before task %d (stream order violated)" i (i - 1)
+        else check_tasks (i + 1)
+      in
+      check_tasks 0

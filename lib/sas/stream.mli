@@ -1,0 +1,40 @@
+(** The budgeted task-stream scheduler underlying Listings 3 and 4.
+
+    Tasks are processed strictly in the given order (the caller sorts: by
+    non-decreasing total requirement for [T1]/Listing 3, by non-decreasing
+    job count for [T2]/Listing 4). In each time step the scheduler
+
+    + first completes whole tasks as long as the next task's remaining
+      requirement fits in the leftover budget and its remaining jobs fit on
+      the leftover processors (the transition loop of Listing 3/4, lines
+      2–4);
+    + then runs the sliding-window step of the unit-size engine on the
+      first task that does not fit entirely, with processor count capped at
+      [min(procs_left, ⌊budget_left·(m−1)/budget⌋ + 1)] (line 5 of
+      Listing 4) and the leftover budget.
+
+    Completion time of a task = the step in which its last job finishes. *)
+
+type alloc = { task : int; item : int; amount : int }
+(** [task] = position in the input order; [item] = job index within the
+    task; [amount] in resource units. *)
+
+type result = {
+  completions : int array;  (** per input-order task position, ≥ 1 *)
+  steps : alloc list list;  (** per time step *)
+  makespan : int;
+}
+
+val run : m:int -> budget:int -> Task.t list -> result
+(** Raises [Invalid_argument] if [m < 2] or [budget < 1]. Tasks are taken
+    in list order. *)
+
+val sum_completions : result -> int
+
+val check : m:int -> budget:int -> Task.t list -> result -> (unit, string) Stdlib.result
+(** Independent audit of a result against the model: per step at most
+    [budget] resource and [m] jobs, a job allocated at most once per step,
+    work conserved per (task, job), tasks touched in order (no allocation
+    to task [i+1] in a step before task [i]'s completion step), and the
+    recorded completion of every task equals the last step that allocates
+    to it. *)

@@ -1,0 +1,15 @@
+type t = { id : int; reqs : int array }
+
+let v ~id reqs =
+  if reqs = [] then invalid_arg "Task.v: empty task";
+  List.iter (fun r -> if r <= 0 then invalid_arg "Task.v: non-positive requirement") reqs;
+  { id; reqs = Array.of_list reqs }
+
+let size t = Array.length t.reqs
+let total_req t = Array.fold_left ( + ) 0 t.reqs
+
+(* |T| / r(T) < m−1  ⇔  |T| · scale < (m−1) · r(T), with r(T) in units. *)
+let is_high t ~m ~scale = size t * scale < (m - 1) * total_req t
+
+let pp ppf t =
+  Format.fprintf ppf "task%d(|T|=%d, r(T)=%d)" t.id (size t) (total_req t)

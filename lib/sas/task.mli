@@ -1,0 +1,27 @@
+(** Tasks of the Shared Resource Task-Scheduling problem (Section 4).
+
+    A task is a set of unit-size jobs, each with its own resource
+    requirement; it completes when its last job completes. Requirements are
+    in fixed-point units of the owning instance's scale. *)
+
+type t = private {
+  id : int;  (** position in the caller's task list *)
+  reqs : int array;  (** per-job requirements, all ≥ 1; non-empty *)
+}
+
+val v : id:int -> int list -> t
+(** Raises [Invalid_argument] on an empty job list or non-positive
+    requirement. *)
+
+val size : t -> int
+(** [|T|]: number of jobs. *)
+
+val total_req : t -> int
+(** [r(T) = Σ_j r_j] in units. *)
+
+val is_high : t -> m:int -> scale:int -> bool
+(** Section 4.2's classification: [T ∈ T1] iff [|T| / r(T) < m − 1] with
+    [r(T)] as a fraction of the resource — computed exactly in units as
+    [|T| · scale < (m−1) · r(T)]. High-requirement tasks go to [T1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type case = Case_full | Case_partial
+
+type outcome = {
+  allocs : Schedule.alloc list;
+  window : Window.t;
+  case : case;
+  extra : int option;
+}
+
+let req st i = (Instance.job (State.instance st) i).Job.req
+
+(* An allocation's consumption: a job can use at most min(assigned, r_j) in
+   one step, and never more than its remaining requirement. *)
+let alloc st i assigned =
+  let consumed = min (min assigned (req st i)) (State.s st i) in
+  { Schedule.job = i; assigned; consumed }
+
+let compute st w ~budget ~extra =
+  if Window.is_empty w then invalid_arg "Assign.compute: empty window";
+  let ms = Window.members st w in
+  let iota =
+    match List.filter (State.fractured st) ms with
+    | [] -> None
+    | [ i ] -> Some i
+    | _ -> invalid_arg "Assign.compute: more than one fractured job in window"
+  in
+  let mx = match Window.last w with Some j -> j | None -> assert false in
+  let r_rest =
+    Window.rsum w - (match iota with Some i -> req st i | None -> 0)
+  in
+  if r_rest >= budget then begin
+    (* Case 1. The fractured job cannot be max W here: that would give
+       r(W∖F) = r(W∖{max W}) < budget by window property (b). *)
+    (match iota with
+    | Some i when i = mx -> invalid_arg "Assign.compute: fractured max W in case 1"
+    | _ -> ());
+    let spent = ref 0 in
+    let allocs =
+      List.map
+        (fun j ->
+          let a =
+            if Some j = iota then alloc st j (State.q st j)
+            else if j = mx then begin
+              let rest = budget - !spent in
+              (* WLOG R_i(t) ≤ r_j: cap the handed-out share. *)
+              alloc st j (min rest (req st j))
+            end
+            else alloc st j (req st j)
+          in
+          spent := !spent + a.Schedule.assigned;
+          a)
+        ms
+    in
+    { allocs; window = w; case = Case_full; extra = None }
+  end
+  else begin
+    (* Case 2: r(W∖F) < budget. *)
+    let iota_amount =
+      match iota with
+      | None -> 0
+      | Some i -> min (budget - r_rest) (min (State.s st i) (req st i))
+    in
+    let allocs =
+      List.map
+        (fun j ->
+          if Some j = iota then alloc st j iota_amount else alloc st j (req st j))
+        ms
+    in
+    let leftover = budget - r_rest - iota_amount in
+    let extra_job = if extra && leftover > 0 then Window.right_neighbor st w else None in
+    match extra_job with
+    | Some x ->
+        let a = alloc st x (min leftover (req st x)) in
+        {
+          allocs = allocs @ [ a ];
+          window = Window.add_right st w;
+          case = Case_partial;
+          extra = Some x;
+        }
+    | None -> { allocs; window = w; case = Case_partial; extra = None }
+  end
+
+let apply st outcome =
+  List.filter_map
+    (fun a ->
+      State.consume st a.Schedule.job a.Schedule.consumed;
+      if State.finished st a.Schedule.job then Some a.Schedule.job else None)
+    outcome.allocs

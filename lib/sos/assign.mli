@@ -1,0 +1,34 @@
+(** The per-step resource assignment of Listing 1 (lines 6–20).
+
+    Given the (k-maximal) window for the current step, distributes the
+    budget according to the paper's two cases:
+
+    {b Case 1} [r(W∖F) ≥ budget]: every [j ∈ W∖(F∪{max W})] receives its
+    full requirement [r_j], the fractured job [ι] receives exactly its
+    fractional remainder [q_ι] (un-fracturing it), and [max W] receives all
+    remaining resource.
+
+    {b Case 2} [r(W∖F) < budget]: every [j ∈ W∖F] receives [r_j], [ι]
+    receives [min(budget − r(W∖F), s_ι(t−1), r_ι)], and — if [extra] is
+    set, resource is left over, and an unscheduled job exists to the right —
+    the leftover starts [min R_t(W)] on the otherwise reserved m-th
+    processor (the only situation in which Listing 1 uses all [m]
+    processors). *)
+
+type case = Case_full | Case_partial
+
+type outcome = {
+  allocs : Schedule.alloc list;  (** in window order; includes the extra job *)
+  window : Window.t;  (** input window, extended by the extra job if started *)
+  case : case;
+  extra : int option;  (** the job started on the m-th processor, if any *)
+}
+
+val compute : State.t -> Window.t -> budget:int -> extra:bool -> outcome
+(** Does not mutate the state. Raises [Invalid_argument] on an empty window
+    (callers only invoke it while unfinished jobs remain, so the computed
+    window is never empty). *)
+
+val apply : State.t -> outcome -> int list
+(** Consumes the outcome's allocations and returns the jobs that finished
+    in this step (window order). Does not unlink them. *)

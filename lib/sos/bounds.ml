@@ -1,0 +1,27 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bounds.ceil_div: non-positive divisor";
+  if a <= 0 then 0 else ((a - 1) / b) + 1
+
+let resource_bound inst = ceil_div (Instance.total_requirement inst) inst.Instance.scale
+let volume_bound inst = ceil_div (Instance.total_volume inst) inst.Instance.m
+let longest_job_bound inst = Instance.max_size inst
+
+let lower_bound inst =
+  max (resource_bound inst) (max (volume_bound inst) (longest_job_bound inst))
+
+let theorem_3_3_bound inst ~makespan =
+  let lb = lower_bound inst in
+  if lb = 0 then if makespan = 0 then 1.0 else infinity
+  else float_of_int makespan /. float_of_int lb
+
+let guarantee_general ~m =
+  if m < 3 then invalid_arg "Bounds.guarantee_general: need m >= 3";
+  2.0 +. (1.0 /. float_of_int (m - 2))
+
+let guarantee_unit ~m =
+  if m < 3 then invalid_arg "Bounds.guarantee_unit: need m >= 3";
+  1.0 +. (2.0 /. float_of_int (m - 2))
+
+let guarantee_unit_modified ~m =
+  if m < 2 then invalid_arg "Bounds.guarantee_unit_modified: need m >= 2";
+  1.0 +. (1.0 /. float_of_int (m - 1))

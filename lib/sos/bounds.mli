@@ -1,0 +1,34 @@
+(** Lower bounds on the optimal makespan (Equation (1) of the paper).
+
+    For any schedule, including the preemptive optimum:
+    [|OPT| ≥ max( ⌈Σ_j s_j⌉ , ⌈(Σ_j p_j)/m⌉ )].
+    In addition every job needs [⌈s_j/r_j⌉ = p_j] dedicated steps, giving the
+    (also preemption-valid) term [max_j p_j]; and the proof of Theorem 3.3
+    additionally uses [r(J) ≤ Σ_j s_j ≤ OPT]. *)
+
+val resource_bound : Instance.t -> int
+(** [⌈Σ_j s_j / scale⌉] — the resource can deliver at most 1 per step. *)
+
+val volume_bound : Instance.t -> int
+(** [⌈Σ_j p_j / m⌉] — each unit of volume needs a processor-step. *)
+
+val longest_job_bound : Instance.t -> int
+(** [max_j p_j] — a job occupies one processor for at least [p_j] steps. *)
+
+val lower_bound : Instance.t -> int
+(** Maximum of the three bounds above; [0] for the empty instance. *)
+
+val theorem_3_3_bound : Instance.t -> makespan:int -> float
+(** [makespan / lower_bound] as a float ([infinity] when the lower bound is
+    0 and makespan positive, [1.0] when both are 0). *)
+
+val guarantee_general : m:int -> float
+(** The proven ratio [2 + 1/(m−2)] for general job sizes (requires m ≥ 3). *)
+
+val guarantee_unit : m:int -> float
+(** The factor [1 + 2/(m−2)] of the unit-size guarantee
+    [|S| ≤ (1 + 2/(m−2))·OPT + 1] (requires m ≥ 3). *)
+
+val guarantee_unit_modified : m:int -> float
+(** The factor [1 + 1/(m−1)] of the m-maximal-window modification /
+    Corollary 3.9 (requires m ≥ 2). *)

@@ -1,0 +1,57 @@
+let schedule_to_csv (sched : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "step,job,assigned,consumed\n";
+  let time = ref 0 in
+  List.iter
+    (fun (st : Schedule.step) ->
+      for rep = 0 to st.repeat - 1 do
+        List.iter
+          (fun (a : Schedule.alloc) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d,%d,%d,%d\n" (!time + rep) a.job a.assigned a.consumed))
+          st.allocs
+      done;
+      time := !time + st.repeat)
+    sched.steps;
+  Buffer.contents buf
+
+let instance_to_csv (inst : Instance.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "job,original_position,size,req,scale,m\n";
+  Array.iteri
+    (fun i (j : Job.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d\n" i inst.original.(i) j.size j.req
+           inst.scale inst.m))
+    inst.jobs;
+  Buffer.contents buf
+
+let utilization_to_csv (sched : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "step,assigned,consumed,jobs\n";
+  let assigned = Schedule.assigned_utilization sched in
+  let consumed = Schedule.utilization sched in
+  let jobs = Schedule.jobs_per_step sched in
+  Array.iteri
+    (fun i a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6f,%.6f,%d\n" i a consumed.(i) jobs.(i)))
+    assigned;
+  Buffer.contents buf
+
+let trace_to_csv (trace : Listing1.step_info list) (inst : Instance.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "time,window_size,window_rsum,case,extra,left_border,right_border,finished\n";
+  List.iter
+    (fun (i : Listing1.step_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.6f,%s,%s,%b,%b,%d\n" i.time
+           (List.length i.window)
+           (float_of_int i.window_rsum /. float_of_int inst.Instance.scale)
+           (match i.case with Assign.Case_full -> "full" | Assign.Case_partial -> "partial")
+           (match i.extra with Some j -> string_of_int j | None -> "")
+           i.at_left_border i.at_right_border
+           (List.length i.finished)))
+    trace;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Machine-readable exports of instances and schedules (CSV), for external
+    analysis/plotting toolchains. All times are expanded (one row per time
+    step), so export only schedules of moderate makespan. *)
+
+val schedule_to_csv : Schedule.t -> string
+(** Columns: [step,job,assigned,consumed] — one row per allocation per
+    expanded time step; resource amounts in units of [1/scale]. *)
+
+val instance_to_csv : Instance.t -> string
+(** Columns: [job,original_position,size,req,scale,m]. *)
+
+val utilization_to_csv : Schedule.t -> string
+(** Columns: [step,assigned,consumed,jobs] — per expanded time step, as
+    fractions of the resource. *)
+
+val trace_to_csv : Listing1.step_info list -> Instance.t -> string
+(** Columns: [time,window_size,window_rsum,case,extra,left_border,
+    right_border,finished] — the Listing 1 trace ([rsum] as a fraction). *)

@@ -1,0 +1,102 @@
+let alloc_eq (a : Schedule.alloc list) (b : Schedule.alloc list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Schedule.alloc) (y : Schedule.alloc) ->
+         x.job = y.job && x.assigned = y.assigned && x.consumed = y.consumed)
+       a b
+
+(* How many further identical steps are provably safe to skip. Called after
+   the current step's consumption has been applied. *)
+let skip_length st (outcome : Assign.outcome) w =
+  let inst = State.instance st in
+  let budget = inst.Instance.scale in
+  let allocs = outcome.Assign.allocs in
+  let non_multiple =
+    List.filter
+      (fun (a : Schedule.alloc) ->
+        a.consumed mod (Instance.job inst a.job).Job.req <> 0)
+      allocs
+  in
+  let k_finish =
+    List.fold_left
+      (fun acc (a : Schedule.alloc) ->
+        if a.consumed <= 0 then acc else min acc ((State.s st a.job - 1) / a.consumed))
+      max_int allocs
+  in
+  if k_finish = max_int then 0
+  else begin
+    match non_multiple with
+    | [] -> k_finish
+    | [ x ] ->
+        let is_max = Window.last w = Some x.job in
+        if is_max then
+          (* Remainder receiver is max W: the allocation is stable across the
+             receiver's un-fracturing events iff r(W) ≥ budget (see .mli);
+             the case analysis says r(W) < budget cannot give max W a
+             non-multiple amount, but fall back to no-skip rather than
+             crash if it ever did. *)
+          if Window.rsum w >= budget then k_finish else 0
+        else begin
+          let r = (Instance.job inst x.job).Job.req in
+          let q0 = State.s st x.job mod r in
+          if q0 = 0 then 0
+          else begin
+            match Prelude.Numth.min_congruence_solution ~c:x.consumed ~q:q0 ~r with
+            | None -> k_finish
+            | Some i -> min k_finish i
+          end
+        end
+    | _ -> 0
+  end
+
+let run_count ?(variant = `Fixed) inst =
+  let st = State.create inst in
+  let size = inst.Instance.m - 1 in
+  let budget = inst.Instance.scale in
+  let steps = ref [] in
+  let carried = ref Window.empty in
+  let prev = ref None in
+  let iters = ref 0 in
+  while not (State.all_finished st) do
+    incr iters;
+    (* Backstop against a skip-logic regression: between two completions the
+       loop simulates O(1) steps plus at most one q-event, so iterations are
+       O(n); anything near this generous budget is a bug, not workload. *)
+    if !iters > (100 * Instance.n inst) + 1000 then
+      failwith "Fast.run: iteration budget exceeded (internal error)";
+    let w = Window.compute ~variant st !carried ~size ~budget in
+    let members = Window.members st w in
+    let outcome = Assign.compute st w ~budget ~extra:true in
+    let finished_jobs = Assign.apply st outcome in
+    State.tick st;
+    let extra_reps =
+      if finished_jobs <> [] then 0
+      else begin
+        match !prev with
+        | Some (pa, pm) when alloc_eq pa outcome.Assign.allocs && pm = members ->
+            skip_length st outcome w
+        | _ -> 0
+      end
+    in
+    if extra_reps > 0 then begin
+      List.iter
+        (fun (a : Schedule.alloc) ->
+          State.consume st a.job (extra_reps * a.consumed))
+        outcome.Assign.allocs;
+      State.advance st extra_reps;
+      steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 + extra_reps } :: !steps;
+      prev := None
+    end
+    else begin
+      steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 } :: !steps;
+      prev :=
+        if finished_jobs = [] then Some (outcome.Assign.allocs, members) else None
+    end;
+    let survivors = Window.prune st outcome.Assign.window in
+    List.iter (State.unlink st) finished_jobs;
+    carried := survivors;
+    ()
+  done;
+  (Schedule.make inst (List.rev !steps), !iters)
+
+let run ?variant inst = fst (run_count ?variant inst)

@@ -1,0 +1,23 @@
+(** The polynomial-time implementation of the approximation algorithm
+    (proof of Theorem 3.3): identical schedules to {!Listing1}, but runs of
+    time steps in which no job finishes are skipped in O(m) by solving a
+    linear equation, giving [O((m+n)·n)] overall instead of a dependence on
+    [Σ_j p_j].
+
+    A run of steps can be skipped once the allocation provably repeats:
+    the window is unchanged, no job finished, the allocation equals the
+    previous step's, and at most one allocated job (the remainder receiver)
+    consumes an amount that is not a multiple of its requirement. The skip
+    length is capped by (i) the first step in which some job would finish
+    and (ii) — when the window's total requirement is below the budget — the
+    first step in which the remainder receiver's fractional part [q] would
+    hit 0, because the case split of Listing 1 changes there. Both caps are
+    closed-form (a division and a linear congruence). *)
+
+val run : ?variant:[ `Fixed | `Literal ] -> Instance.t -> Schedule.t
+(** Produces the same schedule as [Listing1.run] (same [variant]) with runs
+    of identical steps run-length encoded. *)
+
+val run_count : ?variant:[ `Fixed | `Literal ] -> Instance.t -> Schedule.t * int
+(** Also returns the number of loop iterations actually simulated (the
+    T7 running-time experiment reports it). *)

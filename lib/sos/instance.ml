@@ -1,0 +1,97 @@
+type t = {
+  m : int;
+  scale : int;
+  jobs : Job.t array;
+  original : int array;
+}
+
+let create ~m ~scale specs =
+  if m < 2 then invalid_arg "Instance.create: need m >= 2";
+  if scale < 1 then invalid_arg "Instance.create: need scale >= 1";
+  let tagged =
+    List.mapi (fun pos (size, req) -> (pos, Job.v ~id:pos ~size ~req)) specs
+  in
+  let arr = Array.of_list tagged in
+  Array.sort (fun (_, a) (_, b) -> Job.compare_req a b) arr;
+  let jobs =
+    Array.mapi (fun i (_, j) -> Job.v ~id:i ~size:j.Job.size ~req:j.Job.req) arr
+  in
+  let original = Array.map fst arr in
+  { m; scale; jobs; original }
+
+let of_floats ~m ~scale specs =
+  let quantize f =
+    if not (Float.is_finite f) || f <= 0.0 then
+      invalid_arg "Instance.of_floats: requirement must be positive and finite";
+    let units = int_of_float (Float.round (f *. float_of_int scale)) in
+    max 1 units
+  in
+  create ~m ~scale (List.map (fun (size, f) -> (size, quantize f)) specs)
+
+let n t = Array.length t.jobs
+
+let job t i =
+  if i < 0 || i >= Array.length t.jobs then invalid_arg "Instance.job: index";
+  t.jobs.(i)
+
+let total_volume t = Array.fold_left (fun acc j -> acc + j.Job.size) 0 t.jobs
+let total_requirement t = Array.fold_left (fun acc j -> acc + Job.s j) 0 t.jobs
+let sum_req t = Array.fold_left (fun acc j -> acc + j.Job.req) 0 t.jobs
+let max_size t = Array.fold_left (fun acc j -> max acc j.Job.size) 0 t.jobs
+let unit_size t = Array.for_all (fun j -> j.Job.size = 1) t.jobs
+
+let rescale t c =
+  if c < 1 then invalid_arg "Instance.rescale: factor must be >= 1";
+  {
+    t with
+    scale = t.scale * c;
+    jobs = Array.map (fun j -> { j with Job.req = j.Job.req * c }) t.jobs;
+  }
+
+let restrict_m t m =
+  if m < 2 then invalid_arg "Instance.restrict_m: need m >= 2";
+  { t with m }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "sos %d %d %d\n" t.m t.scale (n t));
+  Array.iteri
+    (fun i j ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" t.original.(i) j.Job.size j.Job.req))
+    t.jobs;
+  Buffer.contents buf
+
+let of_string str =
+  let lines =
+    String.split_on_char '\n' str
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> failwith "Instance.of_string: empty input"
+  | header :: rest -> begin
+      match String.split_on_char ' ' header with
+      | [ "sos"; m; scale; count ] ->
+          let m = int_of_string m and scale = int_of_string scale in
+          let count = int_of_string count in
+          if List.length rest <> count then
+            failwith "Instance.of_string: job count mismatch";
+          let by_pos =
+            List.map
+              (fun line ->
+                match String.split_on_char ' ' line with
+                | [ pos; size; req ] ->
+                    (int_of_string pos, (int_of_string size, int_of_string req))
+                | _ -> failwith "Instance.of_string: malformed job line")
+              rest
+          in
+          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) by_pos in
+          create ~m ~scale (List.map snd sorted)
+      | _ -> failwith "Instance.of_string: malformed header"
+    end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>instance m=%d scale=%d n=%d@," t.m t.scale (n t);
+  Array.iter (fun j -> Format.fprintf ppf "  %a@," Job.pp j) t.jobs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** An SoS problem instance (Section 1.1).
+
+    [m] identical processors share one divisible resource of total size 1 per
+    time step. The resource is represented in exact fixed-point: the instance
+    fixes [scale ∈ ℕ] and "1 unit of resource" means [1/scale] of the whole;
+    a full time step offers [scale] units. Jobs are stored sorted by
+    non-decreasing requirement, as the paper assumes ([r_1 ≤ … ≤ r_n]); the
+    permutation back to the caller's original order is retained. *)
+
+type t = private {
+  m : int;  (** number of processors, [≥ 2] *)
+  scale : int;  (** resource units per time step, [≥ 1] *)
+  jobs : Job.t array;  (** sorted by {!Job.compare_req}; [jobs.(i).id = i] *)
+  original : int array;  (** [original.(i)] = caller position of [jobs.(i)] *)
+}
+
+val create : m:int -> scale:int -> (int * int) list -> t
+(** [create ~m ~scale specs] builds an instance from [(size, req)] pairs,
+    [req] in units of [1/scale]. Raises [Invalid_argument] if [m < 2],
+    [scale < 1], or any size/req is non-positive. The empty job list is
+    allowed. *)
+
+val of_floats : m:int -> scale:int -> (int * float) list -> t
+(** Like {!create} with requirements given as fractions of the resource;
+    each is rounded to the nearest unit, clamped to at least 1 unit. *)
+
+val n : t -> int
+val job : t -> int -> Job.t
+(** [job t i] for [i] in sorted order. Raises [Invalid_argument] out of
+    range. *)
+
+val total_volume : t -> int
+(** [Σ_j p_j]. *)
+
+val total_requirement : t -> int
+(** [Σ_j s_j] in resource units. *)
+
+val sum_req : t -> int
+(** [r(J) = Σ_j r_j] in resource units. *)
+
+val max_size : t -> int
+(** [max_j p_j]; 0 on the empty instance. *)
+
+val unit_size : t -> bool
+(** All jobs have [p_j = 1]. *)
+
+val rescale : t -> int -> t
+(** [rescale t c] multiplies [scale] and every requirement by [c ≥ 1]. The
+    instance is combinatorially identical; useful to make budgets like
+    [(⌊m/2⌋−1)/(m−1)] exactly representable. *)
+
+val restrict_m : t -> int -> t
+(** Same jobs, different processor count. *)
+
+val to_string : t -> string
+(** A line-oriented text format, parsed back by {!of_string}. *)
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

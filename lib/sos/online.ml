@@ -1,0 +1,123 @@
+type arrival = { release : int; size : int; req : int }
+
+type result = {
+  instance : Instance.t;
+  schedule : Schedule.t;
+  start_times : int array;
+  makespan : int;
+}
+
+let to_instance ~m ~scale arrivals =
+  List.iter
+    (fun a ->
+      if a.release < 0 then invalid_arg "Online.run: negative release";
+      if a.size <= 0 || a.req <= 0 then invalid_arg "Online.run: malformed job")
+    arrivals;
+  Instance.create ~m ~scale (List.map (fun a -> (a.size, a.req)) arrivals)
+
+let release_table inst arrivals =
+  let by_pos = Array.of_list (List.map (fun a -> a.release) arrivals) in
+  Array.map (fun pos -> by_pos.(pos)) inst.Instance.original
+
+let lower_bound ~m ~scale arrivals =
+  let inst = to_instance ~m ~scale arrivals in
+  let eq1 = Bounds.lower_bound inst in
+  let horizon =
+    List.fold_left (fun acc a -> max acc (a.release + a.size)) 0 arrivals
+  in
+  max eq1 horizon
+
+let run ~m ~scale arrivals =
+  let inst = to_instance ~m ~scale arrivals in
+  let releases = release_table inst arrivals in
+  let n = Instance.n inst in
+  let s = Array.init n (fun i -> Job.s (Instance.job inst i)) in
+  let req i = (Instance.job inst i).Job.req in
+  let start_times = Array.make n (-1) in
+  (* pending: not yet admitted, in requirement (= id) order. *)
+  let pending = ref (List.init n Fun.id) in
+  let active = ref [] in
+  let steps = ref [] in
+  let t = ref 0 in
+  let max_release = Array.fold_left max 0 releases in
+  let fuel = ref (max_release + Instance.total_requirement inst + n + 4) in
+  while !pending <> [] || !active <> [] do
+    decr fuel;
+    if !fuel < 0 then failwith "Online.run: no progress (internal error)";
+    (* Admit released jobs, smallest requirement first, while the active
+       set keeps property (b): everything except the largest member must
+       fit below the full resource. *)
+    let rec admit () =
+      if List.length !active < m - 1 then begin
+        let released, rest =
+          List.partition (fun j -> releases.(j) <= !t) !pending
+        in
+        match released with
+        | [] -> ()
+        | cand :: more_released ->
+            let members = cand :: !active in
+            let sum = List.fold_left (fun acc j -> acc + req j) 0 members in
+            let mx = List.fold_left (fun acc j -> max acc (req j)) 0 members in
+            if sum - mx < scale then begin
+              active := members;
+              pending := more_released @ rest;
+              admit ()
+            end
+      end
+    in
+    admit ();
+    (if !active = [] then
+       (* Idle: nothing released yet. *)
+       steps := { Schedule.allocs = []; repeat = 1 } :: !steps
+     else begin
+       let ordered = List.sort (fun a b -> compare (req a, a) (req b, b)) !active in
+       let rec split_last acc = function
+         | [ last ] -> (List.rev acc, last)
+         | x :: rest -> split_last (x :: acc) rest
+         | [] -> assert false
+       in
+       let others, biggest = split_last [] ordered in
+       let spent = ref 0 in
+       let allocs_others =
+         List.map
+           (fun j ->
+             let assigned = min (req j) s.(j) in
+             spent := !spent + assigned;
+             { Schedule.job = j; assigned; consumed = assigned })
+           others
+       in
+       let leftover = scale - !spent in
+       let big_assigned = min (min leftover (req biggest)) s.(biggest) in
+       let allocs =
+         allocs_others
+         @ [ { Schedule.job = biggest; assigned = big_assigned; consumed = big_assigned } ]
+       in
+       List.iter
+         (fun (a : Schedule.alloc) ->
+           if start_times.(a.job) < 0 then start_times.(a.job) <- !t;
+           s.(a.job) <- s.(a.job) - a.consumed)
+         allocs;
+       steps := { Schedule.allocs; repeat = 1 } :: !steps;
+       active := List.filter (fun j -> s.(j) > 0) !active
+     end);
+    incr t
+  done;
+  (* Trim trailing idle steps (none expected, but keep the invariant that
+     makespan = last step with work). *)
+  let rec trim = function
+    | { Schedule.allocs = []; _ } :: rest -> trim rest
+    | steps -> steps
+  in
+  let steps = List.rev (trim !steps) in
+  let schedule = Schedule.make inst steps in
+  { instance = inst; schedule; start_times; makespan = schedule.Schedule.makespan }
+
+let respects_releases result arrivals =
+  let releases = release_table result.instance arrivals in
+  let ok = ref true in
+  Array.iteri
+    (fun j start -> if start >= 0 && start < releases.(j) then ok := false)
+    result.start_times;
+  Array.iteri (fun j start -> if start < 0 && Job.s (Instance.job result.instance j) > 0 then ok := false)
+    result.start_times;
+  !ok

@@ -1,0 +1,34 @@
+(** Online SoS: jobs arrive over time (release dates) and the scheduler
+    learns of a job only at its release. The paper treats the offline
+    problem; this module is the natural online extension (window-style
+    greedy), kept as an explicitly heuristic variant — no competitive ratio
+    is claimed, the benchmark measures it against the clairvoyant lower
+    bound.
+
+    Policy, per time step: the active set keeps every started-unfinished
+    job (non-preemption), then admits released jobs by smallest requirement
+    while fewer than m−1 jobs are active and the active set without its
+    largest member stays below the full resource (the window algorithm's
+    properties (b)/(e) in spirit). Assignment mirrors Listing 1: everyone
+    except the largest active job gets its full requirement, the largest
+    the leftover. *)
+
+type arrival = { release : int; size : int; req : int }
+(** [release ≥ 0] in time steps; [size], [req] as in {!Instance}. *)
+
+type result = {
+  instance : Instance.t;  (** the jobs, as an offline instance *)
+  schedule : Schedule.t;  (** over the offline instance's job ids *)
+  start_times : int array;  (** 0-based first step of each job *)
+  makespan : int;
+}
+
+val run : m:int -> scale:int -> arrival list -> result
+(** Raises [Invalid_argument] on a negative release or malformed job. *)
+
+val lower_bound : m:int -> scale:int -> arrival list -> int
+(** Clairvoyant bound: [max(Eq.(1) on all jobs, max_j (release_j + p_j))]. *)
+
+val respects_releases : result -> arrival list -> bool
+(** Every job starts no earlier than its release (the schedule validator
+    knows nothing about releases, so this is checked separately). *)

@@ -1,0 +1,285 @@
+type alloc = { job : int; assigned : int; consumed : int }
+type step = { allocs : alloc list; repeat : int }
+type t = { inst : Instance.t; steps : step list; makespan : int }
+
+let make inst steps =
+  let makespan =
+    List.fold_left
+      (fun acc st ->
+        if st.repeat <= 0 then invalid_arg "Schedule.make: non-positive repeat";
+        acc + st.repeat)
+      0 steps
+  in
+  { inst; steps; makespan }
+
+let empty inst = { inst; steps = []; makespan = 0 }
+
+type violation = { at_step : int; reason : string }
+
+let violation at_step fmt = Format.kasprintf (fun reason -> { at_step; reason }) fmt
+
+exception Bad of violation
+
+let validate ?(preemption_ok = false) t =
+  let inst = t.inst in
+  let n = Instance.n inst in
+  let remaining = Array.init n (fun i -> Job.s (Instance.job inst i)) in
+  let first_seen = Array.make n (-1) in
+  let last_seen = Array.make n (-1) in
+  let steps_seen = Array.make n 0 in
+  try
+    let time = ref 0 in
+    List.iter
+      (fun st ->
+        let t0 = !time in
+        let seen = Hashtbl.create 8 in
+        let total_assigned =
+          List.fold_left
+            (fun acc a ->
+              if a.job < 0 || a.job >= n then
+                raise (Bad (violation t0 "allocation for unknown job %d" a.job));
+              if Hashtbl.mem seen a.job then
+                raise (Bad (violation t0 "job %d allocated twice in one step" a.job));
+              Hashtbl.add seen a.job ();
+              if a.assigned < 0 then
+                raise (Bad (violation t0 "job %d: negative assignment" a.job));
+              if a.consumed < 0 then
+                raise (Bad (violation t0 "job %d: negative consumption" a.job));
+              let r = (Instance.job inst a.job).Job.req in
+              let cap = min a.assigned r in
+              if a.consumed > cap then
+                raise
+                  (Bad
+                     (violation t0 "job %d: consumed %d > min(assigned=%d, r=%d)"
+                        a.job a.consumed a.assigned r));
+              let used = st.repeat * a.consumed in
+              if used > remaining.(a.job) then
+                raise
+                  (Bad
+                     (violation t0 "job %d: over-consumed (%d > remaining %d)" a.job
+                        used remaining.(a.job)));
+              remaining.(a.job) <- remaining.(a.job) - used;
+              if a.consumed < cap && (st.repeat > 1 || remaining.(a.job) <> 0) then
+                raise
+                  (Bad
+                     (violation t0
+                        "job %d: under-consumed (%d < %d) outside its finishing step"
+                        a.job a.consumed cap));
+              if first_seen.(a.job) < 0 then first_seen.(a.job) <- t0;
+              last_seen.(a.job) <- t0 + st.repeat - 1;
+              steps_seen.(a.job) <- steps_seen.(a.job) + st.repeat;
+              acc + a.assigned)
+            0 st.allocs
+        in
+        if total_assigned > inst.Instance.scale then
+          raise
+            (Bad
+               (violation t0 "resource overused: %d > scale %d" total_assigned
+                  inst.Instance.scale));
+        if List.length st.allocs > inst.Instance.m then
+          raise
+            (Bad
+               (violation t0 "too many jobs in one step: %d > m=%d"
+                  (List.length st.allocs) inst.Instance.m));
+        time := t0 + st.repeat)
+      t.steps;
+    for j = 0 to n - 1 do
+      if remaining.(j) <> 0 then
+        raise (Bad (violation (-1) "job %d not finished: %d units left" j remaining.(j)));
+      if (not preemption_ok) && steps_seen.(j) <> last_seen.(j) - first_seen.(j) + 1
+      then
+        raise
+          (Bad
+             (violation (-1) "job %d preempted: present %d of steps [%d..%d]" j
+                steps_seen.(j) first_seen.(j) last_seen.(j)))
+    done;
+    Ok ()
+  with Bad v -> Error v
+
+let assert_valid ?preemption_ok t =
+  match validate ?preemption_ok t with
+  | Ok () -> ()
+  | Error v -> failwith (Printf.sprintf "invalid schedule at step %d: %s" v.at_step v.reason)
+
+let processor_assignment t =
+  (match validate t with
+  | Ok () -> ()
+  | Error v ->
+      failwith
+        (Printf.sprintf "processor_assignment: invalid schedule at %d: %s" v.at_step
+           v.reason));
+  let inst = t.inst in
+  let n = Instance.n inst in
+  let proc_of = Array.make n (-1) in
+  let start_of = Array.make n (-1) in
+  let free = Queue.create () in
+  for p = inst.Instance.m - 1 downto 0 do
+    Queue.push p free
+  done;
+  let remaining = Array.init n (fun i -> Job.s (Instance.job inst i)) in
+  let result = ref [] in
+  let time = ref 0 in
+  List.iter
+    (fun st ->
+      (* Assign processors to jobs appearing for the first time. *)
+      List.iter
+        (fun a ->
+          if proc_of.(a.job) < 0 then begin
+            if Queue.is_empty free then failwith "processor_assignment: no free processor";
+            let p = Queue.pop free in
+            proc_of.(a.job) <- p;
+            start_of.(a.job) <- !time;
+            result := (a.job, p, !time) :: !result
+          end)
+        st.allocs;
+      (* Release processors of jobs that finish within this block. *)
+      List.iter
+        (fun a ->
+          remaining.(a.job) <- remaining.(a.job) - (st.repeat * a.consumed);
+          if remaining.(a.job) = 0 then Queue.push proc_of.(a.job) free)
+        st.allocs;
+      time := !time + st.repeat)
+    t.steps;
+  List.rev !result
+
+let expand t =
+  {
+    t with
+    steps =
+      List.concat_map
+        (fun st -> List.init st.repeat (fun _ -> { st with repeat = 1 }))
+        t.steps;
+  }
+
+let job_spans t =
+  let n = Instance.n t.inst in
+  let first = Array.make n (-1) and last = Array.make n (-1) in
+  let time = ref 0 in
+  List.iter
+    (fun st ->
+      List.iter
+        (fun a ->
+          if first.(a.job) < 0 then first.(a.job) <- !time;
+          last.(a.job) <- !time + st.repeat - 1)
+        st.allocs;
+      time := !time + st.repeat)
+    t.steps;
+  List.filter_map
+    (fun j -> if first.(j) >= 0 then Some (j, first.(j), last.(j)) else None)
+    (List.init n Fun.id)
+
+let completion_times t =
+  let n = Instance.n t.inst in
+  let remaining = Array.init n (fun i -> Job.s (Instance.job t.inst i)) in
+  let completion = Array.make n 0 in
+  let time = ref 0 in
+  List.iter
+    (fun st ->
+      List.iter
+        (fun a ->
+          if a.consumed > 0 && remaining.(a.job) > 0 then begin
+            let before = remaining.(a.job) in
+            remaining.(a.job) <- before - (st.repeat * a.consumed);
+            if remaining.(a.job) <= 0 then begin
+              (* finished within this block: at its ⌈before/consumed⌉-th
+                 repetition *)
+              let reps = ((before - 1) / a.consumed) + 1 in
+              completion.(a.job) <- !time + reps
+            end
+          end)
+        st.allocs;
+      time := !time + st.repeat)
+    t.steps;
+  Array.iteri
+    (fun j c ->
+      if c = 0 && Job.s (Instance.job t.inst j) > 0 then
+        invalid_arg "Schedule.completion_times: job never completes")
+    completion;
+  completion
+
+let sum_completion_times t = Array.fold_left ( + ) 0 (completion_times t)
+
+let mean_completion_time t =
+  let n = Instance.n t.inst in
+  if n = 0 then 0.0 else float_of_int (sum_completion_times t) /. float_of_int n
+
+let fold_expanded t f init =
+  List.fold_left
+    (fun acc st ->
+      let rec reps acc k = if k = 0 then acc else reps (f acc st.allocs) (k - 1) in
+      reps acc st.repeat)
+    init t.steps
+
+let per_step_array t f =
+  let out = Array.make t.makespan 0.0 in
+  let i =
+    fold_expanded t
+      (fun i allocs ->
+        out.(i) <- f allocs;
+        i + 1)
+      0
+  in
+  assert (i = t.makespan);
+  out
+
+let utilization t =
+  let scale = float_of_int t.inst.Instance.scale in
+  per_step_array t (fun allocs ->
+      float_of_int (List.fold_left (fun acc a -> acc + a.consumed) 0 allocs) /. scale)
+
+let assigned_utilization t =
+  let scale = float_of_int t.inst.Instance.scale in
+  per_step_array t (fun allocs ->
+      float_of_int (List.fold_left (fun acc a -> acc + a.assigned) 0 allocs) /. scale)
+
+let jobs_per_step t =
+  let out = Array.make t.makespan 0 in
+  let i =
+    fold_expanded t
+      (fun i allocs ->
+        out.(i) <- List.length allocs;
+        i + 1)
+      0
+  in
+  assert (i = t.makespan);
+  out
+
+let total_waste t =
+  List.fold_left
+    (fun acc st ->
+      acc
+      + st.repeat * List.fold_left (fun acc a -> acc + (a.assigned - a.consumed)) 0 st.allocs)
+    0 t.steps
+
+let job_glyph j =
+  let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  letters.[j mod String.length letters]
+
+let render_gantt ?(max_width = 120) t =
+  let m = t.inst.Instance.m in
+  let width = min t.makespan max_width in
+  let grid = Array.make_matrix m width '.' in
+  let proc_of = Array.make (Instance.n t.inst) (-1) in
+  List.iter (fun (j, p, _) -> proc_of.(j) <- p) (processor_assignment t);
+  let _ =
+    fold_expanded t
+      (fun i allocs ->
+        if i < width then
+          List.iter
+            (fun a -> if proc_of.(a.job) >= 0 then grid.(proc_of.(a.job)).(i) <- job_glyph a.job)
+            allocs;
+        i + 1)
+      0
+  in
+  let buf = Buffer.create ((m + 1) * (width + 8)) in
+  for p = 0 to m - 1 do
+    Buffer.add_string buf (Printf.sprintf "p%-2d " p);
+    Array.iter (Buffer.add_char buf) grid.(p);
+    if t.makespan > width then Buffer.add_string buf " ...";
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "schedule(makespan=%d, steps=%d, waste=%d)" t.makespan
+    (List.length t.steps) (total_waste t)

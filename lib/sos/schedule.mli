@@ -1,0 +1,89 @@
+(** Schedules: time-indexed resource/job assignments, with a full validator.
+
+    A schedule is a run-length-encoded list of steps. Each step carries the
+    allocations of one time step; [repeat] says how many consecutive time
+    steps use exactly these allocations (the step-skipping solver emits
+    [repeat > 1]). For every allocation, [assigned] is the resource share
+    handed to the job's processor and [consumed] the amount of its remaining
+    requirement actually paid for, i.e. [min(assigned, r_j, s_j(t−1))];
+    [assigned − consumed] is wasted resource. *)
+
+type alloc = { job : int; assigned : int; consumed : int }
+
+type step = { allocs : alloc list; repeat : int }
+
+type t = {
+  inst : Instance.t;
+  steps : step list;  (** in time order *)
+  makespan : int;  (** [Σ repeat] *)
+}
+
+val make : Instance.t -> step list -> t
+(** Computes the makespan; raises [Invalid_argument] on a non-positive
+    [repeat]. *)
+
+val empty : Instance.t -> t
+
+type violation = {
+  at_step : int;  (** expanded time index (0-based), or -1 for global *)
+  reason : string;
+}
+
+val validate : ?preemption_ok:bool -> t -> (unit, violation) result
+(** Checks, against the schedule's instance:
+    - per step: at most [m] allocations, pairwise-distinct jobs,
+      [Σ assigned ≤ scale], [0 ≤ consumed ≤ min(assigned, r_j)], and
+      [consumed < min(assigned, r_j)] only in a job's finishing step;
+    - per job: consumed totals exactly [s_j], never over-consumed;
+    - unless [preemption_ok]: each job's allocation steps are contiguous
+      (non-preemption) and a fixed-processor assignment exists
+      (non-migration) — with [≤ m] jobs per step and contiguous intervals
+      a greedy interval coloring always suffices, and the validator
+      constructs it. *)
+
+val assert_valid : ?preemption_ok:bool -> t -> unit
+(** Raises [Failure] with the violation message. *)
+
+val expand : t -> t
+(** Replace every run-length-encoded step by [repeat] copies. Semantically
+    identical; [validate] agrees on both forms (tested property). Only for
+    moderate makespans. *)
+
+val processor_assignment : t -> (int * int * int) list
+(** [(job, processor, start_step)] for each job, computed by greedy interval
+    coloring over the expanded timeline; requires a valid non-preemptive
+    schedule. Raises [Failure] otherwise. *)
+
+val job_spans : t -> (int * int * int) list
+(** [(job, first_step, last_step)] (0-based, inclusive) for every job that
+    receives an allocation, in job order. Works for preemptive schedules
+    too (the span then covers the gaps). *)
+
+val completion_times : t -> int array
+(** Per job, the 1-based step in which its consumption completes [s_j]
+    (0 for a job with [s_j = 0] allocations only — impossible for valid
+    schedules of well-formed instances). Raises [Invalid_argument] if some
+    job never completes. *)
+
+val sum_completion_times : t -> int
+val mean_completion_time : t -> float
+(** 0 on the empty instance. *)
+
+val utilization : t -> float array
+(** Per expanded step, [Σ consumed / scale]. Length = makespan. Intended for
+    the figure experiments; expands the RLE, so use on small schedules. *)
+
+val assigned_utilization : t -> float array
+(** Per expanded step, [Σ assigned / scale]. *)
+
+val jobs_per_step : t -> int array
+(** Per expanded step, number of allocations. *)
+
+val total_waste : t -> int
+(** [Σ (assigned − consumed)] over all steps, in resource units. *)
+
+val render_gantt : ?max_width:int -> t -> string
+(** ASCII Gantt chart (rows = processors, columns = time steps); truncated
+    to [max_width] (default 120) columns. *)
+
+val pp : Format.formatter -> t -> unit

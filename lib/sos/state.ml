@@ -1,0 +1,81 @@
+type t = {
+  inst : Instance.t;
+  s : int array;
+  next : int array;
+  prev : int array;
+  linked : bool array;
+  mutable head : int; (* -1 when empty *)
+  mutable remaining : int;
+  mutable now : int;
+}
+
+let create inst =
+  let n = Instance.n inst in
+  let s = Array.init n (fun i -> Job.s (Instance.job inst i)) in
+  let next = Array.init n (fun i -> if i = n - 1 then -1 else i + 1) in
+  let prev = Array.init n (fun i -> i - 1) in
+  {
+    inst;
+    s;
+    next;
+    prev;
+    linked = Array.make n true;
+    head = (if n = 0 then -1 else 0);
+    remaining = n;
+    now = 0;
+  }
+
+let copy t =
+  {
+    t with
+    s = Array.copy t.s;
+    next = Array.copy t.next;
+    prev = Array.copy t.prev;
+    linked = Array.copy t.linked;
+  }
+
+let instance t = t.inst
+let now t = t.now
+let tick t = t.now <- t.now + 1
+
+let advance t k =
+  if k < 0 then invalid_arg "State.advance: negative step count";
+  t.now <- t.now + k
+
+let remaining_count t = t.remaining
+let all_finished t = t.remaining = 0
+let s t i = t.s.(i)
+let started t i = t.s.(i) < Job.s (Instance.job t.inst i)
+let finished t i = t.s.(i) = 0
+let req t i = (Instance.job t.inst i).Job.req
+let q t i = t.s.(i) mod req t i
+let fractured t i = t.s.(i) > 0 && q t i <> 0
+let head t = if t.head < 0 then None else Some t.head
+
+let next_remaining t i =
+  if not t.linked.(i) then invalid_arg "State.next_remaining: job not linked";
+  let j = t.next.(i) in
+  if j < 0 then None else Some j
+
+let prev_remaining t i =
+  if not t.linked.(i) then invalid_arg "State.prev_remaining: job not linked";
+  let j = t.prev.(i) in
+  if j < 0 then None else Some j
+
+let consume t i amount =
+  if amount < 0 then invalid_arg "State.consume: negative amount";
+  if amount > t.s.(i) then invalid_arg "State.consume: amount exceeds remaining";
+  t.s.(i) <- t.s.(i) - amount
+
+let unlink t i =
+  if not t.linked.(i) then invalid_arg "State.unlink: already unlinked";
+  if t.s.(i) <> 0 then invalid_arg "State.unlink: job not finished";
+  let p = t.prev.(i) and n = t.next.(i) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p;
+  t.linked.(i) <- false;
+  t.remaining <- t.remaining - 1
+
+let remaining_jobs t =
+  let rec walk acc i = if i < 0 then List.rev acc else walk (i :: acc) t.next.(i) in
+  walk [] t.head

@@ -1,0 +1,59 @@
+(** Mutable execution state of the sliding-window algorithms.
+
+    Tracks, per job [j], the remaining total resource requirement
+    [s_j(t) = s_j − Σ shares received] (Section 1.1), and keeps the
+    still-unfinished jobs in a doubly-linked list in requirement order so
+    that window neighbours ([max L_t(W)], [min R_t(W)]) are O(1). *)
+
+type t
+
+val create : Instance.t -> t
+(** Fresh state at time 0: [s_j(0) = s_j], no job started. *)
+
+val copy : t -> t
+val instance : t -> Instance.t
+val now : t -> int
+(** Number of completed time steps. *)
+
+val tick : t -> unit
+(** Advance the clock by one step. *)
+
+val advance : t -> int -> unit
+(** Advance the clock by [k ≥ 0] steps (used by the step-skipping solver). *)
+
+val remaining_count : t -> int
+val all_finished : t -> bool
+
+val s : t -> int -> int
+(** Remaining requirement of job [i], in resource units. *)
+
+val started : t -> int -> bool
+(** [s_i(t) < s_i]. *)
+
+val finished : t -> int -> bool
+(** [s_i(t) = 0]. *)
+
+val fractured : t -> int -> bool
+(** [s_i(t) ∉ {0, r_i, 2·r_i, …}] — Section 3's fractured predicate. *)
+
+val q : t -> int -> int
+(** [q_i(t) = s_i(t) mod r_i] (0 when unfractured). *)
+
+val head : t -> int option
+(** Smallest-requirement unfinished job. *)
+
+val next_remaining : t -> int -> int option
+(** Successor among unfinished jobs; the argument must itself be unfinished. *)
+
+val prev_remaining : t -> int -> int option
+
+val consume : t -> int -> int -> unit
+(** [consume t i amount] reduces [s_i] by [amount]; raises
+    [Invalid_argument] if [amount < 0] or [amount > s_i]. Does not unlink. *)
+
+val unlink : t -> int -> unit
+(** Remove a finished job from the remaining list. Raises
+    [Invalid_argument] if the job is not finished or already unlinked. *)
+
+val remaining_jobs : t -> int list
+(** Unfinished jobs in requirement order (O(n); for tests/traces). *)

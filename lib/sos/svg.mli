@@ -1,0 +1,14 @@
+(** SVG rendering of schedules: a self-contained vector Gantt chart with a
+    resource-utilization strip, for READMEs and papers. Pure string
+    generation, no dependencies. *)
+
+val render :
+  ?width:int -> ?row_height:int -> ?title:string -> Schedule.t -> string
+(** An SVG document ([width] pixels wide, default 960; [row_height] per
+    processor row, default 22). Jobs are colored by id (golden-angle hue
+    rotation), labeled when wide enough; below the rows a strip shows the
+    per-step consumed utilization. Requires a valid non-preemptive schedule
+    (processor assignment must exist); raises [Failure] otherwise. *)
+
+val render_to_file : string -> Schedule.t -> unit
+(** [render_to_file path sched] with default options. *)

@@ -1,0 +1,185 @@
+type t = Empty | Range of { first : int; last : int; count : int; rsum : int }
+
+let empty = Empty
+let is_empty = function Empty -> true | Range _ -> false
+let count = function Empty -> 0 | Range r -> r.count
+let rsum = function Empty -> 0 | Range r -> r.rsum
+let first = function Empty -> None | Range r -> Some r.first
+let last = function Empty -> None | Range r -> Some r.last
+
+let mem w i =
+  match w with Empty -> false | Range r -> r.first <= i && i <= r.last
+
+let req st i = (Instance.job (State.instance st) i).Job.req
+
+let members st w =
+  match w with
+  | Empty -> []
+  | Range r ->
+      let rec walk acc i =
+        if i = r.last then List.rev (i :: acc)
+        else begin
+          match State.next_remaining st i with
+          | Some j -> walk (i :: acc) j
+          | None -> invalid_arg "Window.members: broken range"
+        end
+      in
+      walk [] r.first
+
+let of_members st = function
+  | [] -> Empty
+  | first :: _ as ms ->
+      let rec check = function
+        | [] -> assert false
+        | [ x ] -> x
+        | x :: (y :: _ as rest) ->
+            if State.next_remaining st x <> Some y then
+              invalid_arg "Window.of_members: not consecutive remaining jobs";
+            check rest
+      in
+      let last = check ms in
+      let rsum = List.fold_left (fun acc i -> acc + req st i) 0 ms in
+      Range { first; last; count = List.length ms; rsum }
+
+let left_neighbor st = function
+  | Empty -> None
+  | Range r -> State.prev_remaining st r.first
+
+let right_neighbor st = function
+  | Empty -> State.head st
+  | Range r -> State.next_remaining st r.last
+
+let add_left st w =
+  match left_neighbor st w with
+  | None -> invalid_arg "Window.add_left: no left neighbor"
+  | Some j -> begin
+      match w with
+      | Empty -> assert false
+      | Range r ->
+          Range { r with first = j; count = r.count + 1; rsum = r.rsum + req st j }
+    end
+
+let add_right st w =
+  match right_neighbor st w with
+  | None -> invalid_arg "Window.add_right: no right neighbor"
+  | Some j -> begin
+      match w with
+      | Empty -> Range { first = j; last = j; count = 1; rsum = req st j }
+      | Range r ->
+          Range { r with last = j; count = r.count + 1; rsum = r.rsum + req st j }
+    end
+
+let drop_left st w =
+  match w with
+  | Empty -> invalid_arg "Window.drop_left: empty window"
+  | Range r ->
+      if r.count = 1 then Empty
+      else begin
+        match State.next_remaining st r.first with
+        | None -> invalid_arg "Window.drop_left: broken range"
+        | Some j ->
+            Range { r with first = j; count = r.count - 1; rsum = r.rsum - req st r.first }
+      end
+
+let grow_left st w ~size ~budget =
+  let rec loop w =
+    if count w < size && left_neighbor st w <> None && rsum w < budget then
+      loop (add_left st w)
+    else w
+  in
+  loop w
+
+let grow_left_fixed st w ~size ~budget =
+  let b_preserved w j =
+    match last w with
+    | None -> true
+    | Some mx -> rsum w + req st j - req st mx < budget
+  in
+  let rec loop w =
+    if count w < size then begin
+      match left_neighbor st w with
+      | Some j when b_preserved w j -> loop (add_left st w)
+      | _ -> w
+    end
+    else w
+  in
+  loop w
+
+let grow_right st w ~size ~budget =
+  let rec loop w =
+    if rsum w < budget && right_neighbor st w <> None && count w < size then
+      loop (add_right st w)
+    else w
+  in
+  loop w
+
+let move_right st w ~budget =
+  let unstarted_min w =
+    match first w with Some j -> not (State.started st j) | None -> false
+  in
+  let rec loop w =
+    if rsum w < budget && right_neighbor st w <> None && unstarted_min w then
+      loop (drop_left st (add_right st w))
+    else w
+  in
+  loop w
+
+let prune st w =
+  let survivors = List.filter (fun i -> not (State.finished st i)) (members st w) in
+  match survivors with
+  | [] -> Empty
+  | first :: _ as ms ->
+      let rec last_of = function
+        | [ x ] -> x
+        | _ :: rest -> last_of rest
+        | [] -> assert false
+      in
+      let rsum = List.fold_left (fun acc i -> acc + req st i) 0 ms in
+      Range { first; last = last_of ms; count = List.length ms; rsum }
+
+let compute ?(variant = `Fixed) st w ~size ~budget =
+  let w =
+    match variant with
+    | `Fixed -> grow_left_fixed st w ~size ~budget
+    | `Literal -> grow_left st w ~size ~budget
+  in
+  let w = grow_right st w ~size ~budget in
+  move_right st w ~budget
+
+let is_window st w ~budget =
+  match w with
+  | Empty ->
+      (* Property (d): no started job may be outside the window. *)
+      List.for_all (fun i -> not (State.started st i)) (State.remaining_jobs st)
+  | Range r ->
+      let ms = members st w in
+      (* (a) holds by representation; check the range is well formed. *)
+      let well_formed = List.length ms = r.count in
+      (* (b) r(W \ {max W}) < budget *)
+      let b = r.rsum - req st r.last < budget in
+      (* (c) at most one fractured member *)
+      let c = List.length (List.filter (State.fractured st) ms) <= 1 in
+      (* (d) every job outside the window is unstarted *)
+      let d =
+        List.for_all
+          (fun i -> mem w i || not (State.started st i))
+          (State.remaining_jobs st)
+      in
+      well_formed && b && c && d
+
+let is_k_maximal st w ~k ~budget =
+  is_window st w ~budget
+  && count w <= k
+  && (count w >= k || left_neighbor st w = None)
+  && (rsum w >= budget || right_neighbor st w = None)
+
+let is_effectively_maximal st w ~k ~budget =
+  is_window st w ~budget
+  && count w <= k
+  && (count w >= k || left_neighbor st w = None || rsum w >= budget)
+  && (rsum w >= budget || right_neighbor st w = None)
+
+let pp ppf = function
+  | Empty -> Format.fprintf ppf "<empty window>"
+  | Range r ->
+      Format.fprintf ppf "[%d..%d|#%d r=%d]" r.first r.last r.count r.rsum

@@ -1,0 +1,34 @@
+let giant_and_dust ~m ~dust ~scale =
+  let specs = (8 * m, scale) :: List.init dust (fun _ -> (1, max 1 (scale / (8 * m)))) in
+  Sos.Instance.create ~m ~scale specs
+
+let epsilon_pairs ~pairs ~m ~scale =
+  if scale < 4 then invalid_arg "Adversarial.epsilon_pairs: need scale >= 4";
+  let specs =
+    List.concat
+      (List.init pairs (fun _ -> [ (1, (scale / 2) + 1); (1, (scale / 2) - 1) ]))
+  in
+  Sos.Instance.create ~m ~scale specs
+
+let footnote_fracture ~m ~scale =
+  if m < 3 then invalid_arg "Adversarial.footnote_fracture: need m >= 3";
+  (* m−1 jobs of requirement just over scale/(m−1) with large volumes, plus a
+     stream of slightly smaller jobs: every step the naive rule fractures the
+     current max a little further. *)
+  let base = (scale / (m - 1)) + 1 in
+  let heavy = List.init (m - 1) (fun i -> (6, base + i)) in
+  let filler = List.init (3 * m) (fun i -> (2, max 1 (base - 1 - (i mod 3)))) in
+  Sos.Instance.create ~m ~scale (heavy @ filler)
+
+let staircase ~n ~m ~scale =
+  if n < 1 then invalid_arg "Adversarial.staircase: need n >= 1";
+  let specs = List.init n (fun i -> (2, max 1 ((i + 1) * scale / n))) in
+  Sos.Instance.create ~m ~scale specs
+
+let worst_case_ratio_family ~m ~scale =
+  if m < 3 then invalid_arg "Adversarial.worst_case_ratio_family: need m >= 3";
+  (* Tiny-requirement long jobs that occupy the m−1 window without using the
+     resource, then jobs that each need the full resource. *)
+  let tiny = List.init (2 * (m - 1)) (fun _ -> (4 * m, 1)) in
+  let hungry = List.init (m - 1) (fun _ -> (2, scale)) in
+  Sos.Instance.create ~m ~scale (tiny @ hungry)

@@ -1,0 +1,25 @@
+(** Hand-crafted instance families that stress specific design choices of
+    the algorithm (ablation table A1) and the baselines (table T6). *)
+
+val giant_and_dust : m:int -> dust:int -> scale:int -> Sos.Instance.t
+(** One job with [r = scale] (needs the whole resource) and a long volume,
+    plus [dust] tiny unit jobs. List scheduling serializes behind the
+    giant; the window algorithm overlaps the dust. *)
+
+val epsilon_pairs : pairs:int -> m:int -> scale:int -> Sos.Instance.t
+(** Unit jobs with requirements [scale/2 + 1] and [scale/2 − 1] in equal
+    numbers: NextFit-style packings waste almost half of every bin unless
+    pairs are matched; must have [scale ≥ 4]. *)
+
+val footnote_fracture : m:int -> scale:int -> Sos.Instance.t
+(** The footnote-1 scenario: m−1 jobs whose volumes conspire so that a
+    naive assignment (always giving the leftover to max W without the
+    un-fracture swap) accumulates many fractured jobs, wasting resource. *)
+
+val staircase : n:int -> m:int -> scale:int -> Sos.Instance.t
+(** Requirements [scale/n, 2·scale/n, …]: windows must slide continuously. *)
+
+val worst_case_ratio_family : m:int -> scale:int -> Sos.Instance.t
+(** A family tuned to push the algorithm toward its 2 + 1/(m−2) bound:
+    a block of jobs that keeps exactly m−2 processors saturated with full
+    requirements, followed by resource-hungry stragglers. *)

@@ -1,0 +1,69 @@
+type entry = {
+  name : string;
+  instance : Sos.Instance.t;
+  note : string;
+  exact_opt : int option;
+}
+
+let lemma_3_7_stall =
+  {
+    name = "lemma-3.7-stall";
+    instance =
+      Sos.Instance.create ~m:7 ~scale:127
+        [ (2, 6); (4, 6); (4, 14); (3, 14); (6, 30); (8, 31); (7, 33); (8, 52);
+          (7, 52); (8, 56); (8, 63); (7, 64); (1, 70); (3, 76); (1, 81); (4, 86);
+          (1, 88); (4, 90); (5, 97); (2, 101); (8, 103); (6, 106); (1, 106);
+          (3, 108); (2, 110); (7, 114); (6, 117); (3, 121); (3, 124); (5, 129);
+          (8, 137); (6, 143); (3, 148) ];
+    note =
+      "Literal GrowWindowLeft stalls behind the surviving max (strict Lemma 3.7 \
+       fails); the (b)-preserving rule does not.";
+    exact_opt = None;
+  }
+
+let footnote_one =
+  {
+    name = "footnote-1";
+    instance = Adversarial.footnote_fracture ~m:6 ~scale:1000;
+    note = "Fracture-accumulation stress: naive leftover assignment wastes resource.";
+    exact_opt = None;
+  }
+
+let three_tight =
+  {
+    name = "three-tight";
+    instance = Sos.Instance.create ~m:4 ~scale:90 [ (5, 30); (5, 30); (5, 30) ];
+    note = "Three jobs exactly filling the resource every step: optimum = 5.";
+    exact_opt = Some 5;
+  }
+
+let reduction_yes =
+  {
+    name = "reduction-yes-q2";
+    instance =
+      Sos.Instance.create ~m:3 ~scale:400
+        (List.map (fun a -> (1, 100 + a)) [ 26; 35; 39; 30; 30; 40 ]);
+    note = "YES 3-Partition through the k = 3 gadget: preemptive optimum = q = 2.";
+    exact_opt = Some 2;
+  }
+
+let giant_dust =
+  {
+    name = "giant-dust";
+    instance = Adversarial.giant_and_dust ~m:8 ~dust:200 ~scale:720720;
+    note = "One full-resource job plus dust: overlap is everything (ablation A1).";
+    exact_opt = None;
+  }
+
+let eps_pairs =
+  {
+    name = "eps-pairs";
+    instance = Adversarial.epsilon_pairs ~pairs:60 ~m:4 ~scale:720720;
+    note = "Half±ε unit jobs: pairing matters; naive fracture handling loses 50%.";
+    exact_opt = None;
+  }
+
+let all =
+  [ lemma_3_7_stall; footnote_one; three_tight; reduction_yes; giant_dust; eps_pairs ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

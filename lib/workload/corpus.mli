@@ -1,0 +1,39 @@
+(** A fixed corpus of named instances with known/expected behaviour, shared
+    by regression tests and documentation. Each entry records the instance
+    plus ground truth where available (the exact optimum for small unit-size
+    cases, otherwise the Eq. (1) lower bound). *)
+
+type entry = {
+  name : string;
+  instance : Sos.Instance.t;
+  note : string;
+  exact_opt : int option;
+      (** exact (preemptive) optimum where the branch & bound can certify
+          one — unit-size instances only *)
+}
+
+val all : entry list
+
+val lemma_3_7_stall : entry
+(** The distilled DESIGN.md §6 instance: literal GrowWindowLeft violates
+    strict Lemma 3.7, the fixed rule does not. *)
+
+val footnote_one : entry
+(** Footnote 1's warning: fracture accumulation wastes resource under the
+    naive assignment. *)
+
+val three_tight : entry
+(** Three equal jobs that exactly fill the resource: makespan = p. *)
+
+val reduction_yes : entry
+(** A YES 3-Partition instance through the k = 3 reduction: the unit-size
+    optimum is exactly q = 2. *)
+
+val giant_dust : entry
+(** One full-resource job plus many tiny ones (ablation A1's headline). *)
+
+val eps_pairs : entry
+(** Unit jobs of scale/2 ± 1: fracture handling decides between LB and
+    1.5×LB. *)
+
+val find : string -> entry option

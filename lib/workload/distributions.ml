@@ -1,0 +1,34 @@
+module Rng = Prelude.Rng
+
+type t =
+  | Uniform of { lo : int; hi : int }
+  | Bimodal of { lo1 : int; hi1 : int; lo2 : int; hi2 : int; p2 : float }
+  | Pareto of { alpha : float; xmin : int; cap : int }
+  | Exponential of { mean : float; lo : int; hi : int }
+  | Choice of int array
+  | Constant of int
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let sample rng = function
+  | Uniform { lo; hi } -> Rng.int_in rng lo hi
+  | Bimodal { lo1; hi1; lo2; hi2; p2 } ->
+      if Rng.float rng 1.0 < p2 then Rng.int_in rng lo2 hi2 else Rng.int_in rng lo1 hi1
+  | Pareto { alpha; xmin; cap } ->
+      let u = 1.0 -. Rng.float rng 1.0 in
+      let x = float_of_int xmin /. (u ** (1.0 /. alpha)) in
+      clamp xmin cap (int_of_float x)
+  | Exponential { mean; lo; hi } ->
+      let u = 1.0 -. Rng.float rng 1.0 in
+      clamp lo hi (int_of_float (-.mean *. log u))
+  | Choice values -> Rng.choose rng values
+  | Constant c -> c
+
+let describe = function
+  | Uniform { lo; hi } -> Printf.sprintf "uniform[%d,%d]" lo hi
+  | Bimodal { lo1; hi1; lo2; hi2; p2 } ->
+      Printf.sprintf "bimodal[%d,%d]/[%d,%d]@%.2f" lo1 hi1 lo2 hi2 p2
+  | Pareto { alpha; xmin; cap } -> Printf.sprintf "pareto(a=%.2f,min=%d,cap=%d)" alpha xmin cap
+  | Exponential { mean; lo; hi } -> Printf.sprintf "exp(mean=%.1f)[%d,%d]" mean lo hi
+  | Choice _ -> "choice"
+  | Constant c -> Printf.sprintf "const(%d)" c

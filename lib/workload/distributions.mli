@@ -1,0 +1,17 @@
+(** Integer-valued sampling distributions for workload generation.
+
+    All samplers return values clamped to [[lo, hi]] (inclusive), so every
+    generated requirement/size is positive and representable. *)
+
+type t =
+  | Uniform of { lo : int; hi : int }
+  | Bimodal of { lo1 : int; hi1 : int; lo2 : int; hi2 : int; p2 : float }
+      (** with probability [p2] sample from the second (large) mode *)
+  | Pareto of { alpha : float; xmin : int; cap : int }
+      (** heavy-tailed; [P(X > x) = (xmin/x)^alpha], capped at [cap] *)
+  | Exponential of { mean : float; lo : int; hi : int }
+  | Choice of int array  (** uniform over a fixed set of values *)
+  | Constant of int
+
+val sample : Prelude.Rng.t -> t -> int
+val describe : t -> string

@@ -1,0 +1,67 @@
+module Rng = Prelude.Rng
+module D = Distributions
+
+type profile = {
+  name : string;
+  jobs_per_task : D.t;
+  req : D.t;
+}
+
+let default_scale = Sos_gen.default_scale
+
+let generate rng profile ~k ~m ?(scale = default_scale) () =
+  let task _ =
+    let jobs = max 1 (D.sample rng profile.jobs_per_task) in
+    List.init jobs (fun _ -> max 1 (D.sample rng profile.req))
+  in
+  Sas.Sas_instance.create ~m ~scale (List.init k task)
+
+let s = default_scale
+
+let cloud_mix =
+  {
+    name = "cloud-mix";
+    jobs_per_task = D.Uniform { lo = 2; hi = 30 };
+    req = D.Bimodal { lo1 = 1; hi1 = s / 50; lo2 = s / 10; hi2 = s / 2; p2 = 0.3 };
+  }
+
+let high_requirement =
+  {
+    name = "high-req";
+    jobs_per_task = D.Uniform { lo = 1; hi = 6 };
+    req = D.Uniform { lo = s / 4; hi = s };
+  }
+
+let low_requirement =
+  {
+    name = "low-req";
+    jobs_per_task = D.Uniform { lo = 10; hi = 60 };
+    req = D.Uniform { lo = 1; hi = s / 100 };
+  }
+
+let all_profiles = [ cloud_mix; high_requirement; low_requirement ]
+
+let pure_t1 rng ~k ~m ?(scale = default_scale) () =
+  if scale mod (m - 1) <> 0 then invalid_arg "Sas_gen.pure_t1: (m-1) must divide scale";
+  let threshold = scale / (m - 1) in
+  List.init k (fun id ->
+      let jobs = Rng.int_in rng 1 8 in
+      Sas.Task.v ~id
+        (List.init jobs (fun _ -> Rng.int_in rng (threshold + 1) scale)))
+
+let pure_t2 rng ~k ~m ?(scale = default_scale) () =
+  if scale mod (m - 1) <> 0 then invalid_arg "Sas_gen.pure_t2: (m-1) must divide scale";
+  let threshold = scale / (m - 1) in
+  List.init k (fun id ->
+      let jobs = Rng.int_in rng 4 40 in
+      Sas.Task.v ~id (List.init jobs (fun _ -> Rng.int_in rng 1 threshold)))
+
+let random_instance rng ?(max_k = 12) ?(max_m = 12) () =
+  let m = Rng.int_in rng 4 max_m in
+  let scale = Rng.int_in rng 2 60 * 2 * (m - 1) in
+  let k = Rng.int_in rng 1 max_k in
+  let task _ =
+    let jobs = Rng.int_in rng 1 12 in
+    List.init jobs (fun _ -> Rng.int_in rng 1 (scale + (scale / 4)))
+  in
+  Sas.Sas_instance.create ~m ~scale (List.init k task)

@@ -1,0 +1,37 @@
+(** Seeded SAS task-set generators. *)
+
+type profile = {
+  name : string;
+  jobs_per_task : Distributions.t;
+  req : Distributions.t;  (** per-job requirement, units of [1/scale] *)
+}
+
+val generate :
+  Prelude.Rng.t -> profile -> k:int -> m:int -> ?scale:int -> unit -> Sas.Sas_instance.t
+(** [k] tasks on [m ≥ 4] processors (default scale {!Sos_gen.default_scale}). *)
+
+val cloud_mix : profile
+(** The composed-cloud-services scenario of the paper's introduction: task
+    sizes 2–30 jobs, 70% tiny requirements (≤ 2%) and 30% mid/large. *)
+
+val high_requirement : profile
+(** Few jobs per task, large requirements: lands (mostly) in [T1]. *)
+
+val low_requirement : profile
+(** Many jobs per task, tiny requirements: lands in [T2]. *)
+
+val all_profiles : profile list
+
+val pure_t1 : Prelude.Rng.t -> k:int -> m:int -> ?scale:int -> unit -> Sas.Task.t list
+(** Tasks that each satisfy the Lemma 4.1 precondition
+    [r(T)/|T| > R/(m−1)] for the Listing 3 configuration (budget
+    [(⌊m/2⌋−1)/(m−1)] on [⌊m/2⌋] processors) — used to test Lemma 4.1
+    directly. The returned tasks carry ids 0..k−1. *)
+
+val pure_t2 : Prelude.Rng.t -> k:int -> m:int -> ?scale:int -> unit -> Sas.Task.t list
+(** Tasks that each satisfy the Lemma 4.2 precondition
+    [r(T)/|T| ≤ R/(m−1)] for the Listing 4 configuration (budget 1/2 on
+    [⌈m/2⌉] processors). *)
+
+val random_instance : Prelude.Rng.t -> ?max_k:int -> ?max_m:int -> unit -> Sas.Sas_instance.t
+(** Fully random small SAS instance for property tests. *)

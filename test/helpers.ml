@@ -1,0 +1,29 @@
+(* Shared helpers for the test suites. *)
+
+module Rng = Prelude.Rng
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed |])
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* Run [f] on [count] seeded random instances; the seed is reported on
+   failure so a counterexample can be replayed. *)
+let for_random_instances ?(count = 300) ?max_n ?max_m ?max_size ?scale name f =
+  Alcotest.test_case name `Quick (fun () ->
+      for seed = 1 to count do
+        let rng = Rng.create (seed * 7919) in
+        let inst = Workload.Sos_gen.random_instance rng ?max_n ?max_m ?max_size ?scale () in
+        try f inst
+        with e ->
+          Alcotest.failf "%s: seed %d: %s\ninstance:\n%s" name seed
+            (Printexc.to_string e) (Sos.Instance.to_string inst)
+      done)
+
+let check_valid ?preemption_ok sched =
+  match Sos.Schedule.validate ?preemption_ok sched with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "invalid schedule at step %d: %s" v.at_step v.reason
+
+let instance_of_reqs ~m ~scale reqs =
+  Sos.Instance.create ~m ~scale (List.map (fun r -> (1, r)) reqs)

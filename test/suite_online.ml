@@ -1,0 +1,120 @@
+(* Tests for the online-arrivals extension and the SVG renderer. *)
+
+open Sos
+module Rng = Prelude.Rng
+
+let random_arrivals rng =
+  let n = Rng.int_in rng 1 25 in
+  List.init n (fun _ ->
+      {
+        Online.release = Rng.int_in rng 0 30;
+        size = Rng.int_in rng 1 6;
+        req = Rng.int_in rng 1 120;
+      })
+
+let test_online_all_at_zero_matches_offline_spirit () =
+  (* With all releases 0 the online scheduler is a plain greedy; it must be
+     a valid non-preemptive schedule within the general guarantee window. *)
+  for seed = 1 to 100 do
+    let rng = Rng.create (seed * 101) in
+    let arrivals =
+      List.init (Rng.int_in rng 1 30) (fun _ ->
+          { Online.release = 0; size = Rng.int_in rng 1 6; req = Rng.int_in rng 1 120 })
+    in
+    let m = Rng.int_in rng 2 8 in
+    let r = Online.run ~m ~scale:100 arrivals in
+    (match Schedule.validate r.Online.schedule with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: invalid online schedule at %d: %s" seed
+          v.Schedule.at_step v.Schedule.reason);
+    let lb = Online.lower_bound ~m ~scale:100 arrivals in
+    if r.Online.makespan < lb then
+      Alcotest.failf "seed %d: online makespan %d < clairvoyant LB %d" seed
+        r.Online.makespan lb
+  done
+
+let test_online_respects_releases () =
+  for seed = 1 to 150 do
+    let rng = Rng.create (seed * 103) in
+    let arrivals = random_arrivals rng in
+    let m = Rng.int_in rng 2 8 in
+    let r = Online.run ~m ~scale:100 arrivals in
+    if not (Online.respects_releases r arrivals) then
+      Alcotest.failf "seed %d: a job started before its release" seed;
+    match Schedule.validate r.Online.schedule with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: invalid at %d: %s" seed v.Schedule.at_step
+          v.Schedule.reason
+  done
+
+let test_online_idle_then_burst () =
+  (* One job released at t = 10: the schedule must wait. *)
+  let r =
+    Online.run ~m:3 ~scale:10 [ { Online.release = 10; size = 2; req = 5 } ]
+  in
+  Alcotest.(check int) "starts at release" 10 r.Online.start_times.(0);
+  Alcotest.(check int) "makespan = 12" 12 r.Online.makespan
+
+let test_online_ratio_reasonable () =
+  (* Against the clairvoyant LB the greedy should stay within a small
+     constant on Poisson-ish arrivals. *)
+  let worst = ref 0.0 in
+  for seed = 1 to 60 do
+    let rng = Rng.create (seed * 107) in
+    let arrivals = random_arrivals rng in
+    let r = Online.run ~m:6 ~scale:100 arrivals in
+    let lb = Online.lower_bound ~m:6 ~scale:100 arrivals in
+    worst := max !worst (float_of_int r.Online.makespan /. float_of_int lb)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "worst online ratio %.3f <= 3.0" !worst)
+    true (!worst <= 3.0)
+
+let test_online_empty () =
+  let r = Online.run ~m:4 ~scale:10 [] in
+  Alcotest.(check int) "empty makespan" 0 r.Online.makespan
+
+(* --- SVG --- *)
+
+let test_svg_well_formed () =
+  let inst = Instance.create ~m:3 ~scale:10 [ (2, 3); (2, 4); (1, 8); (3, 2) ] in
+  let sched = Listing1.run inst in
+  let svg = Svg.render ~title:"test" sched in
+  let count_sub sub =
+    let n = String.length sub and m = String.length svg in
+    let rec go i acc =
+      if i + n > m then acc
+      else go (i + 1) (if String.sub svg i n = sub then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one svg root open" 1 (count_sub "<svg ");
+  Alcotest.(check int) "one svg root close" 1 (count_sub "</svg>");
+  (* one bar per job + m background rows + utilization bars *)
+  Alcotest.(check bool) "has job bars" true (count_sub "<title>job" = 4);
+  Alcotest.(check bool) "has rects" true (count_sub "<rect" >= 4 + 3);
+  Alcotest.(check bool) "mentions title" true (count_sub ">test</text>" = 1)
+
+let test_svg_to_file () =
+  let inst = Instance.create ~m:2 ~scale:10 [ (1, 5); (1, 5) ] in
+  let sched = Listing1.run inst in
+  let path = Filename.temp_file "sos" ".svg" in
+  Svg.render_to_file path sched;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (String.length contents > 200)
+
+let suite =
+  ( "online",
+    [
+      Alcotest.test_case "all-at-zero validity & LB" `Quick
+        test_online_all_at_zero_matches_offline_spirit;
+      Alcotest.test_case "releases respected" `Quick test_online_respects_releases;
+      Alcotest.test_case "idle then burst" `Quick test_online_idle_then_burst;
+      Alcotest.test_case "ratio reasonable" `Quick test_online_ratio_reasonable;
+      Alcotest.test_case "empty" `Quick test_online_empty;
+      Alcotest.test_case "svg well-formed" `Quick test_svg_well_formed;
+      Alcotest.test_case "svg to file" `Quick test_svg_to_file;
+    ] )

@@ -1,0 +1,156 @@
+(* Tests for the prelude substrate: PRNG, statistics, tables, ASCII plots. *)
+
+module Rng = Prelude.Rng
+module Stats = Prelude.Stats
+module Table = Prelude.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_copy () =
+  let a = Rng.create 13 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let y = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "int_in in range" true (y >= 5 && y <= 9);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let x = Rng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = samples / 10 in
+      Alcotest.(check bool) "bucket within 5%" true (abs (c - expected) < expected / 20))
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 1.0)
+
+let test_stats_empty_and_singleton () =
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (Stats.mean [||]);
+  Alcotest.(check (float 0.0)) "stddev singleton" 0.0 (Stats.stddev [| 5.0 |]);
+  Alcotest.check_raises "summarize empty"
+    (Invalid_argument "Stats.summarize: empty array") (fun () ->
+      ignore (Stats.summarize [||]))
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geometric mean" 2.0
+    (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_summary_order () =
+  let xs = [| 9.0; 1.0; 5.0; 3.0; 7.0 |] in
+  let s = Stats.summarize xs in
+  Alcotest.(check (float 0.0)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 0.0)) "max" 9.0 s.Stats.max;
+  Alcotest.(check (float 0.0)) "p50" 5.0 s.Stats.p50;
+  Alcotest.(check int) "count" 5 s.Stats.count
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" [ ("name", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains title" true
+    (String.length out > 0 && String.sub out 0 2 = "==");
+  Alcotest.(check bool) "right-aligned" true
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> l = "b     | 22") lines)
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Prelude.Ascii_plot.sparkline [||]);
+  let s = Prelude.Ascii_plot.sparkline [| 0.0; 1.0 |] in
+  Alcotest.(check int) "length" 2 (String.length s);
+  Alcotest.(check bool) "low then high" true (s.[0] = '_' && s.[1] = '@')
+
+let test_bars () =
+  let out = Prelude.Ascii_plot.bars ~width:10 ~labels:[| "x"; "y" |] [| 1.0; 2.0 |] in
+  Alcotest.(check bool) "two lines" true
+    (List.length (String.split_on_char '\n' (String.trim out)) = 2)
+
+let qcheck_percentile_monotone =
+  Helpers.qcheck "percentile monotone in p"
+    QCheck.(pair (array_of_size Gen.(int_range 1 50) (float_range 0.0 100.0))
+              (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let qcheck_mean_bounds =
+  Helpers.qcheck "mean between min and max"
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min -. 1e-9 <= s.Stats.mean && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let suite =
+  ( "prelude",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng copy" `Quick test_rng_copy;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+      Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+      Alcotest.test_case "stats basic" `Quick test_stats_basic;
+      Alcotest.test_case "stats empty/singleton" `Quick test_stats_empty_and_singleton;
+      Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+      Alcotest.test_case "stats summary order" `Quick test_stats_summary_order;
+      Alcotest.test_case "table renders" `Quick test_table_renders;
+      Alcotest.test_case "table arity" `Quick test_table_arity;
+      Alcotest.test_case "sparkline" `Quick test_sparkline;
+      Alcotest.test_case "bars" `Quick test_bars;
+      qcheck_percentile_monotone;
+      qcheck_mean_bounds;
+    ] )

@@ -1,0 +1,305 @@
+(* Failure-injection tests for the schedule validator: every class of
+   constraint violation must be caught, and the reported reason must point
+   at the right class. Also covers the export module and the preemptive /
+   fixed-assignment schedulers. *)
+
+open Sos
+module Rng = Prelude.Rng
+
+(* Jobs (size, req): sorted by req the ids become
+   id0 = (p=3, r=2, s=6), id1 = (p=2, r=4, s=8), id2 = (p=1, r=6, s=6). *)
+let base_instance () = Instance.create ~m:3 ~scale:10 [ (2, 4); (1, 6); (3, 2) ]
+
+let step allocs = { Schedule.allocs; repeat = 1 }
+let alloc job assigned consumed = { Schedule.job; assigned; consumed }
+
+(* A valid handcrafted schedule: job2 occupies a processor with a zero
+   share in step 2 before receiving everything in step 3. *)
+let good_steps () =
+  [
+    step [ alloc 0 2 2; alloc 1 4 4 ];
+    step [ alloc 0 2 2; alloc 1 4 4; alloc 2 0 0 ];
+    step [ alloc 0 2 2; alloc 2 6 6 ];
+  ]
+
+let expect_reason substring sched =
+  match Schedule.validate sched with
+  | Ok () -> Alcotest.failf "expected violation mentioning %S" substring
+  | Error v ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if not (contains v.Schedule.reason substring) then
+        Alcotest.failf "wrong violation: got %S, expected mention of %S"
+          v.Schedule.reason substring
+
+let test_good_schedule () =
+  let inst = base_instance () in
+  match Schedule.validate (Schedule.make inst (good_steps ())) with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "fixture should be valid: %s" v.Schedule.reason
+
+let valid_fixture () = (base_instance (), good_steps ())
+
+let test_overuse () =
+  let inst, steps = valid_fixture () in
+  let steps = step [ alloc 0 6 2; alloc 1 5 4 ] :: List.tl steps in
+  expect_reason "resource overused" (Schedule.make inst steps)
+
+let test_too_many_jobs () =
+  (* Needs n > m: a 2-processor instance with 3 concurrent allocations. *)
+  let inst = Instance.create ~m:2 ~scale:10 [ (2, 4); (1, 6); (3, 2) ] in
+  let steps = [ step [ alloc 0 2 2; alloc 1 4 4; alloc 2 2 2 ] ] in
+  expect_reason "too many jobs" (Schedule.make inst steps)
+
+let test_double_allocation () =
+  let inst, steps = valid_fixture () in
+  let steps = step [ alloc 0 2 2; alloc 0 2 2 ] :: List.tl steps in
+  expect_reason "allocated twice" (Schedule.make inst steps)
+
+let test_unknown_job () =
+  let inst, steps = valid_fixture () in
+  let steps = step [ alloc 7 1 1 ] :: steps in
+  expect_reason "unknown job" (Schedule.make inst steps)
+
+let test_over_consumption_rate () =
+  (* consumed beyond min(assigned, r). *)
+  let inst, steps = valid_fixture () in
+  let steps = step [ alloc 0 2 3 ] :: List.tl steps in
+  expect_reason "consumed" (Schedule.make inst steps)
+
+let test_over_consumption_total () =
+  let inst, steps = valid_fixture () in
+  let steps = steps @ [ step [ alloc 0 2 2 ] ] in
+  expect_reason "over-consumed" (Schedule.make inst steps)
+
+let test_under_consumption_midrun () =
+  (* A job consuming less than min(assigned, r) without finishing. *)
+  let inst, steps = valid_fixture () in
+  let steps = step [ alloc 0 2 1; alloc 1 4 4 ] :: List.tl steps in
+  expect_reason "under-consumed" (Schedule.make inst steps)
+
+let test_preemption_gap () =
+  let inst = Instance.create ~m:2 ~scale:10 [ (2, 4) ] in
+  let steps =
+    [ step [ alloc 0 4 4 ]; step []; step [ alloc 0 4 4 ] ]
+  in
+  expect_reason "preempted" (Schedule.make inst steps);
+  (* ...but with preemption_ok the same schedule passes. *)
+  match Schedule.validate ~preemption_ok:true (Schedule.make inst steps) with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "preemption_ok should accept: %s" v.Schedule.reason
+
+let test_unfinished () =
+  let inst = Instance.create ~m:2 ~scale:10 [ (2, 4) ] in
+  expect_reason "not finished" (Schedule.make inst [ step [ alloc 0 4 4 ] ])
+
+let test_rle_under_consumption () =
+  (* Under-consumption inside a repeat > 1 block must be rejected even if
+     the totals happen to work out. *)
+  let inst = Instance.create ~m:2 ~scale:10 [ (4, 4) ] in
+  let bad = [ { Schedule.allocs = [ alloc 0 4 2 ]; repeat = 8 } ] in
+  expect_reason "under-consumed" (Schedule.make inst bad);
+  let good =
+    [ { Schedule.allocs = [ alloc 0 4 4 ]; repeat = 4 } ]
+  in
+  match Schedule.validate (Schedule.make inst good) with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "RLE schedule should be valid: %s" v.Schedule.reason
+
+let test_negative_values () =
+  let inst, steps = valid_fixture () in
+  expect_reason "negative"
+    (Schedule.make inst (step [ alloc 0 (-1) 0 ] :: List.tl steps))
+
+(* --- export --- *)
+
+let test_csv_exports () =
+  let inst = Instance.create ~m:3 ~scale:10 [ (2, 3); (1, 8) ] in
+  let sched, trace = Listing1.run_traced inst in
+  let csv = Export.schedule_to_csv sched in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "step,job,assigned,consumed" (List.hd lines);
+  (* one row per allocation per step; total consumption recoverable *)
+  let total =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ',' line with
+        | [ _; _; _; c ] when c <> "consumed" -> acc + int_of_string c
+        | _ -> acc)
+      0 lines
+  in
+  Alcotest.(check int) "consumption adds up" (Instance.total_requirement inst) total;
+  let icsv = Export.instance_to_csv inst in
+  Alcotest.(check int) "instance rows" 3 (List.length (String.split_on_char '\n' (String.trim icsv)));
+  let ucsv = Export.utilization_to_csv sched in
+  Alcotest.(check int) "utilization rows"
+    (sched.Schedule.makespan + 1)
+    (List.length (String.split_on_char '\n' (String.trim ucsv)));
+  let tcsv = Export.trace_to_csv trace inst in
+  Alcotest.(check bool) "trace has rows" true (String.length tcsv > 60)
+
+let test_job_spans () =
+  for seed = 1 to 60 do
+    let rng = Rng.create (seed * 71) in
+    let inst = Workload.Sos_gen.random_instance rng () in
+    let sched = Fast.run inst in
+    let spans = Schedule.job_spans sched in
+    Alcotest.(check int) "every job has a span" (Instance.n inst) (List.length spans);
+    (* spans agree with the processor assignment's start times *)
+    let starts = Schedule.processor_assignment sched in
+    List.iter
+      (fun (j, p, t0) ->
+        ignore p;
+        match List.find_opt (fun (j', _, _) -> j' = j) spans with
+        | Some (_, first, last) ->
+            if first <> t0 then Alcotest.failf "seed %d: job %d span start mismatch" seed j;
+            if last < first then Alcotest.failf "seed %d: job %d inverted span" seed j
+        | None -> Alcotest.failf "seed %d: job %d missing span" seed j)
+      starts
+  done
+
+let test_completion_times () =
+  (* Hand-checkable: job0 (s=6, r=2) finishes in step 3; job1 (s=8, r=4) in
+     step 2; job2 (s=6, r=6) in step 3. *)
+  let inst = base_instance () in
+  let sched = Schedule.make inst (good_steps ()) in
+  Alcotest.(check (array int)) "completions" [| 3; 2; 3 |]
+    (Schedule.completion_times sched);
+  Alcotest.(check int) "sum" 8 (Schedule.sum_completion_times sched);
+  (* consistency on RLE outputs of the fast solver *)
+  for seed = 1 to 60 do
+    let rng = Rng.create (seed * 73) in
+    let inst = Workload.Sos_gen.random_instance rng () in
+    let sched = Fast.run inst in
+    let c = Schedule.completion_times sched in
+    let c' = Schedule.completion_times (Schedule.expand sched) in
+    if c <> c' then Alcotest.failf "seed %d: RLE vs expanded completions differ" seed;
+    Array.iter
+      (fun f ->
+        if f < 1 || f > sched.Schedule.makespan then
+          Alcotest.failf "seed %d: completion %d out of range" seed f)
+      c;
+    (* the makespan is the max completion *)
+    Alcotest.(check int) "makespan = max completion" sched.Schedule.makespan
+      (Array.fold_left max 0 c)
+  done
+
+let test_expand_agreement () =
+  for seed = 1 to 80 do
+    let rng = Rng.create (seed * 67) in
+    let scale = Rng.int_in rng 10 80 in
+    let m = Rng.int_in rng 2 6 in
+    let specs =
+      List.init (Rng.int_in rng 1 10) (fun _ ->
+          (Rng.int_in rng 1 200, Rng.int_in rng 1 (scale * 3 / 2)))
+    in
+    let inst = Instance.create ~m ~scale specs in
+    let sched = Fast.run inst in
+    let expanded = Schedule.expand sched in
+    Alcotest.(check int) "makespan preserved" sched.Schedule.makespan
+      expanded.Schedule.makespan;
+    (match Schedule.validate expanded with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: expanded schedule invalid at %d: %s" seed
+          v.Schedule.at_step v.Schedule.reason);
+    if Export.schedule_to_csv sched <> Export.schedule_to_csv expanded then
+      Alcotest.failf "seed %d: CSV differs between RLE and expanded form" seed
+  done
+
+(* --- preemptive scheduler --- *)
+
+let test_preemptive_valid_and_ge_lb () =
+  for seed = 1 to 200 do
+    let rng = Rng.create (seed * 53) in
+    let inst = Workload.Sos_gen.random_instance rng () in
+    let sched = Preemptive.run inst in
+    (match Schedule.validate ~preemption_ok:true sched with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: invalid preemptive schedule at %d: %s\n%s" seed
+          v.Schedule.at_step v.Schedule.reason (Instance.to_string inst));
+    let lb = Bounds.lower_bound inst in
+    if sched.Schedule.makespan < lb then
+      Alcotest.failf "seed %d: preemptive makespan %d < LB %d" seed
+        sched.Schedule.makespan lb
+  done
+
+let test_preemptive_not_worse_than_serial () =
+  (* LRPT water-filling should never exceed one-job-at-a-time. *)
+  let inst = Instance.create ~m:4 ~scale:100 [ (2, 50); (2, 50); (2, 50); (2, 50) ] in
+  let sched = Preemptive.run inst in
+  Alcotest.(check int) "perfect packing" 4 sched.Schedule.makespan
+
+(* --- fixed assignment --- *)
+
+let test_fixed_assignment_valid () =
+  for seed = 1 to 200 do
+    let rng = Rng.create (seed * 59) in
+    let inst = Workload.Sos_gen.random_instance rng () in
+    List.iter
+      (fun strategy ->
+        let sched = Baselines.Fixed_assignment.run ~strategy inst in
+        match Schedule.validate sched with
+        | Ok () -> ()
+        | Error v ->
+            Alcotest.failf "seed %d: invalid fixed-assignment schedule at %d: %s\n%s"
+              seed v.Schedule.at_step v.Schedule.reason (Instance.to_string inst))
+      [ Baselines.Fixed_assignment.Round_robin; Baselines.Fixed_assignment.By_volume ]
+  done
+
+let test_fixed_assignment_queues () =
+  let inst = Instance.create ~m:2 ~scale:10 [ (1, 1); (1, 2); (1, 3); (1, 4) ] in
+  let queues = Baselines.Fixed_assignment.assign Baselines.Fixed_assignment.Round_robin inst in
+  Alcotest.(check (list int)) "proc 0" [ 0; 2 ] queues.(0);
+  Alcotest.(check (list int)) "proc 1" [ 1; 3 ] queues.(1)
+
+let test_window_beats_fixed_assignment_usually () =
+  (* Joint optimization should win on average. *)
+  let wins = ref 0 and total = ref 0 in
+  for seed = 1 to 50 do
+    let rng = Rng.create (seed * 61) in
+    let inst =
+      Workload.Sos_gen.generate rng Workload.Sos_gen.bimodal ~n:80 ~m:8 ()
+    in
+    let w = (Fast.run inst).Schedule.makespan in
+    let f = (Baselines.Fixed_assignment.run inst).Schedule.makespan in
+    incr total;
+    if w <= f then incr wins
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "window wins %d/%d" !wins !total)
+    true
+    (!wins * 10 >= !total * 8)
+
+let suite =
+  ( "schedule",
+    [
+      Alcotest.test_case "fixture sanity" `Quick test_good_schedule;
+      Alcotest.test_case "inject: resource overuse" `Quick test_overuse;
+      Alcotest.test_case "inject: too many jobs" `Quick test_too_many_jobs;
+      Alcotest.test_case "inject: double allocation" `Quick test_double_allocation;
+      Alcotest.test_case "inject: unknown job" `Quick test_unknown_job;
+      Alcotest.test_case "inject: consumption above rate" `Quick test_over_consumption_rate;
+      Alcotest.test_case "inject: total over-consumption" `Quick test_over_consumption_total;
+      Alcotest.test_case "inject: mid-run under-consumption" `Quick
+        test_under_consumption_midrun;
+      Alcotest.test_case "inject: preemption gap" `Quick test_preemption_gap;
+      Alcotest.test_case "inject: unfinished job" `Quick test_unfinished;
+      Alcotest.test_case "inject: RLE under-consumption" `Quick test_rle_under_consumption;
+      Alcotest.test_case "inject: negative values" `Quick test_negative_values;
+      Alcotest.test_case "csv exports" `Quick test_csv_exports;
+      Alcotest.test_case "RLE expand agreement" `Quick test_expand_agreement;
+      Alcotest.test_case "job spans" `Quick test_job_spans;
+      Alcotest.test_case "completion times" `Quick test_completion_times;
+      Alcotest.test_case "preemptive: valid & ≥ LB" `Quick test_preemptive_valid_and_ge_lb;
+      Alcotest.test_case "preemptive: perfect packing" `Quick
+        test_preemptive_not_worse_than_serial;
+      Alcotest.test_case "fixed assignment: valid" `Quick test_fixed_assignment_valid;
+      Alcotest.test_case "fixed assignment: queues" `Quick test_fixed_assignment_queues;
+      Alcotest.test_case "window beats fixed assignment" `Quick
+        test_window_beats_fixed_assignment_usually;
+    ] )

@@ -1,0 +1,182 @@
+(* Tests for Sos.State and Sos.Window (Definition 3.1 / Listing 2). *)
+
+open Sos
+
+let mk reqs = State.create (Helpers.instance_of_reqs ~m:4 ~scale:100 reqs)
+
+let test_state_initial () =
+  let st = mk [ 10; 20; 30 ] in
+  Alcotest.(check int) "remaining" 3 (State.remaining_count st);
+  Alcotest.(check (option int)) "head" (Some 0) (State.head st);
+  Alcotest.(check (list int)) "remaining jobs" [ 0; 1; 2 ] (State.remaining_jobs st);
+  Alcotest.(check bool) "nothing started" false (State.started st 1);
+  Alcotest.(check bool) "nothing fractured" false (State.fractured st 2)
+
+let test_state_consume_and_fracture () =
+  let st = mk [ 10; 20; 30 ] in
+  State.consume st 1 5;
+  Alcotest.(check bool) "started" true (State.started st 1);
+  Alcotest.(check bool) "fractured" true (State.fractured st 1);
+  Alcotest.(check int) "q" 15 (State.q st 1);
+  State.consume st 1 15;
+  Alcotest.(check bool) "finished" true (State.finished st 1);
+  Alcotest.(check bool) "finished not fractured" false (State.fractured st 1)
+
+let test_state_consume_guards () =
+  let st = mk [ 10 ] in
+  Alcotest.check_raises "negative" (Invalid_argument "State.consume: negative amount")
+    (fun () -> State.consume st 0 (-1));
+  Alcotest.check_raises "too much"
+    (Invalid_argument "State.consume: amount exceeds remaining") (fun () ->
+      State.consume st 0 11)
+
+let test_state_unlink () =
+  let st = mk [ 10; 20; 30 ] in
+  Alcotest.check_raises "unlink unfinished"
+    (Invalid_argument "State.unlink: job not finished") (fun () -> State.unlink st 1);
+  State.consume st 1 20;
+  State.unlink st 1;
+  Alcotest.(check (list int)) "list skips unlinked" [ 0; 2 ] (State.remaining_jobs st);
+  Alcotest.(check (option int)) "next of 0" (Some 2) (State.next_remaining st 0);
+  Alcotest.(check (option int)) "prev of 2" (Some 0) (State.prev_remaining st 2);
+  State.consume st 0 10;
+  State.unlink st 0;
+  Alcotest.(check (option int)) "head advances" (Some 2) (State.head st)
+
+let test_state_copy_isolated () =
+  let st = mk [ 10; 20 ] in
+  let st' = State.copy st in
+  State.consume st 0 5;
+  Alcotest.(check int) "copy unaffected" 10 (State.s st' 0)
+
+let test_window_neighbors () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  let w = Window.of_members st [ 1; 2 ] in
+  Alcotest.(check (option int)) "left neighbor" (Some 0) (Window.left_neighbor st w);
+  Alcotest.(check (option int)) "right neighbor" (Some 3) (Window.right_neighbor st w);
+  Alcotest.(check (option int)) "empty right = head" (Some 0)
+    (Window.right_neighbor st Window.empty);
+  Alcotest.(check (option int)) "empty left = none" None
+    (Window.left_neighbor st Window.empty)
+
+let test_window_of_members_guards () =
+  let st = mk [ 10; 20; 30 ] in
+  Alcotest.check_raises "non-consecutive"
+    (Invalid_argument "Window.of_members: not consecutive remaining jobs") (fun () ->
+      ignore (Window.of_members st [ 0; 2 ]))
+
+let test_window_add_drop () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  let w = Window.of_members st [ 1 ] in
+  let w = Window.add_left st w in
+  let w = Window.add_right st w in
+  Alcotest.(check (list int)) "members" [ 0; 1; 2 ] (Window.members st w);
+  Alcotest.(check int) "rsum" 60 (Window.rsum w);
+  let w = Window.drop_left st w in
+  Alcotest.(check (list int)) "after drop" [ 1; 2 ] (Window.members st w);
+  Alcotest.(check int) "rsum after drop" 50 (Window.rsum w)
+
+let test_grow_right_budget () =
+  (* budget 100: grows until r(W) >= 100. reqs 10,20,30,40: after 10+20+30 = 60
+     < 100, adds 40 → 100, stops. *)
+  let st = mk [ 10; 20; 30; 40 ] in
+  let w = Window.grow_right st Window.empty ~size:10 ~budget:100 in
+  Alcotest.(check (list int)) "grow right all" [ 0; 1; 2; 3 ] (Window.members st w);
+  let w2 = Window.grow_right st Window.empty ~size:2 ~budget:100 in
+  Alcotest.(check (list int)) "size limit" [ 0; 1 ] (Window.members st w2);
+  let w3 = Window.grow_right st Window.empty ~size:10 ~budget:25 in
+  Alcotest.(check (list int)) "budget limit" [ 0; 1 ] (Window.members st w3)
+
+let test_grow_left () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  let w = Window.of_members st [ 3 ] in
+  let w = Window.grow_left st w ~size:3 ~budget:1000 in
+  Alcotest.(check (list int)) "grow left to size" [ 1; 2; 3 ] (Window.members st w)
+
+let test_move_right () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  (* window {0,1} rsum 30 < 35 → slide: drop 0 add 2 → {1,2} rsum 50 ≥ 35 stop *)
+  let w = Window.of_members st [ 0; 1 ] in
+  let w = Window.move_right st w ~budget:35 in
+  Alcotest.(check (list int)) "slid once" [ 1; 2 ] (Window.members st w)
+
+let test_move_right_blocked_by_started () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  State.consume st 0 3;
+  let w = Window.of_members st [ 0; 1 ] in
+  let w = Window.move_right st w ~budget:35 in
+  Alcotest.(check (list int)) "no slide past started" [ 0; 1 ] (Window.members st w)
+
+let test_prune () =
+  let st = mk [ 10; 20; 30 ] in
+  let w = Window.of_members st [ 0; 1; 2 ] in
+  State.consume st 1 20;
+  let w' = Window.prune st w in
+  (* prune's result describes the window after the finished jobs are
+     unlinked; members must be read after State.unlink. *)
+  State.unlink st 1;
+  Alcotest.(check (list int)) "pruned interior" [ 0; 2 ] (Window.members st w');
+  Alcotest.(check int) "rsum recomputed" 40 (Window.rsum w');
+  Alcotest.(check int) "count recomputed" 2 (Window.count w')
+
+let test_is_window_properties () =
+  let st = mk [ 10; 20; 30; 90 ] in
+  let w = Window.of_members st [ 0; 1; 2 ] in
+  Alcotest.(check bool) "valid window" true (Window.is_window st w ~budget:100);
+  (* (b): r(W∖{max}) must stay below the budget *)
+  let wb = Window.of_members st [ 1; 2; 3 ] in
+  Alcotest.(check bool) "violates (b)" false (Window.is_window st wb ~budget:40);
+  (* (d): started job outside the window *)
+  State.consume st 3 1;
+  Alcotest.(check bool) "violates (d)" false (Window.is_window st w ~budget:100)
+
+let test_is_window_fracture_limit () =
+  let st = mk [ 10; 20; 30 ] in
+  State.consume st 0 5;
+  State.consume st 1 5;
+  let w = Window.of_members st [ 0; 1; 2 ] in
+  Alcotest.(check bool) "two fractured jobs violate (c)" false
+    (Window.is_window st w ~budget:100)
+
+let test_k_maximal () =
+  let st = mk [ 10; 20; 30; 40 ] in
+  let w = Window.compute st Window.empty ~size:3 ~budget:100 in
+  Alcotest.(check bool) "compute yields k-maximal" true
+    (Window.is_k_maximal st w ~k:3 ~budget:100);
+  (* A window of size < k away from the left border is not maximal. *)
+  let w' = Window.of_members st [ 1; 2 ] in
+  Alcotest.(check bool) "interior small window not maximal" false
+    (Window.is_k_maximal st w' ~k:3 ~budget:100)
+
+let qcheck_compute_maximal =
+  Helpers.qcheck ~count:300 "compute yields k-maximal windows on fresh states"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 25) (int_range 1 120))
+        (pair (int_range 1 6) (int_range 10 150)))
+    (fun (reqs, (k, budget)) ->
+      let st = mk reqs in
+      let w = Window.compute st Window.empty ~size:k ~budget in
+      Window.is_k_maximal st w ~k ~budget)
+
+let suite =
+  ( "window",
+    [
+      Alcotest.test_case "state initial" `Quick test_state_initial;
+      Alcotest.test_case "consume/fracture" `Quick test_state_consume_and_fracture;
+      Alcotest.test_case "consume guards" `Quick test_state_consume_guards;
+      Alcotest.test_case "unlink" `Quick test_state_unlink;
+      Alcotest.test_case "copy isolation" `Quick test_state_copy_isolated;
+      Alcotest.test_case "neighbors" `Quick test_window_neighbors;
+      Alcotest.test_case "of_members guards" `Quick test_window_of_members_guards;
+      Alcotest.test_case "add/drop" `Quick test_window_add_drop;
+      Alcotest.test_case "grow right" `Quick test_grow_right_budget;
+      Alcotest.test_case "grow left" `Quick test_grow_left;
+      Alcotest.test_case "move right" `Quick test_move_right;
+      Alcotest.test_case "move right blocked" `Quick test_move_right_blocked_by_started;
+      Alcotest.test_case "prune" `Quick test_prune;
+      Alcotest.test_case "is_window properties" `Quick test_is_window_properties;
+      Alcotest.test_case "fracture limit (c)" `Quick test_is_window_fracture_limit;
+      Alcotest.test_case "k-maximal" `Quick test_k_maximal;
+      qcheck_compute_maximal;
+    ] )

@@ -1,0 +1,128 @@
+(* Tests for the workload generators: determinism, distribution sanity, and
+   family preconditions. *)
+
+module Rng = Prelude.Rng
+module D = Workload.Distributions
+
+let test_distributions_in_range () =
+  let rng = Rng.create 11 in
+  let cases =
+    [
+      (D.Uniform { lo = 3; hi = 9 }, 3, 9);
+      (D.Bimodal { lo1 = 1; hi1 = 4; lo2 = 50; hi2 = 60; p2 = 0.5 }, 1, 60);
+      (D.Pareto { alpha = 1.5; xmin = 5; cap = 100 }, 5, 100);
+      (D.Exponential { mean = 10.0; lo = 1; hi = 50 }, 1, 50);
+      (D.Choice [| 2; 4; 8 |], 2, 8);
+      (D.Constant 7, 7, 7);
+    ]
+  in
+  List.iter
+    (fun (d, lo, hi) ->
+      for _ = 1 to 500 do
+        let x = D.sample rng d in
+        if x < lo || x > hi then
+          Alcotest.failf "%s produced %d outside [%d,%d]" (D.describe d) x lo hi
+      done)
+    cases
+
+let test_generator_deterministic () =
+  let gen seed =
+    Workload.Sos_gen.generate (Rng.create seed) Workload.Sos_gen.bimodal ~n:30 ~m:8 ()
+  in
+  Alcotest.(check string) "same seed same instance"
+    (Sos.Instance.to_string (gen 5))
+    (Sos.Instance.to_string (gen 5));
+  Alcotest.(check bool) "different seed different instance" true
+    (Sos.Instance.to_string (gen 5) <> Sos.Instance.to_string (gen 6))
+
+let test_families_well_formed () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun family ->
+      let inst = Workload.Sos_gen.generate rng family ~n:50 ~m:8 () in
+      Alcotest.(check int) (family.Workload.Sos_gen.name ^ " n") 50 (Sos.Instance.n inst))
+    Workload.Sos_gen.all_families
+
+let test_unit_of () =
+  let rng = Rng.create 4 in
+  let family = Workload.Sos_gen.unit_of Workload.Sos_gen.heavy_tail in
+  let inst = Workload.Sos_gen.generate rng family ~n:40 ~m:4 () in
+  Alcotest.(check bool) "unit sizes" true (Sos.Instance.unit_size inst)
+
+let test_pure_t1_precondition () =
+  let rng = Rng.create 9 in
+  let m = 8 and scale = Workload.Sos_gen.default_scale in
+  let tasks = Workload.Sas_gen.pure_t1 rng ~k:20 ~m ~scale () in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "is high" true (Sas.Task.is_high t ~m ~scale))
+    tasks
+
+let test_pure_t2_precondition () =
+  let rng = Rng.create 10 in
+  let m = 8 and scale = Workload.Sos_gen.default_scale in
+  let tasks = Workload.Sas_gen.pure_t2 rng ~k:20 ~m ~scale () in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "is low" false (Sas.Task.is_high t ~m ~scale))
+    tasks
+
+let test_sas_profiles () =
+  let rng = Rng.create 12 in
+  List.iter
+    (fun profile ->
+      let inst = Workload.Sas_gen.generate rng profile ~k:10 ~m:8 () in
+      Alcotest.(check int) (profile.Workload.Sas_gen.name ^ " k") 10 (Sas.Sas_instance.k inst))
+    Workload.Sas_gen.all_profiles
+
+let test_correlated_family () =
+  let rng = Rng.create 31 in
+  let inst = Workload.Sos_gen.generate_correlated rng ~n:120 ~m:8 () in
+  Alcotest.(check int) "n" 120 (Sos.Instance.n inst);
+  (* correlation: average requirement of big jobs exceeds that of small. *)
+  let split p_threshold =
+    let accs = [| (0, 0); (0, 0) |] in
+    for i = 0 to Sos.Instance.n inst - 1 do
+      let j = Sos.Instance.job inst i in
+      let idx = if j.Sos.Job.size >= p_threshold then 1 else 0 in
+      let count, total = accs.(idx) in
+      accs.(idx) <- (count + 1, total + j.Sos.Job.req)
+    done;
+    accs
+  in
+  let accs = split 10 in
+  let avg (count, total) = if count = 0 then 0.0 else float_of_int total /. float_of_int count in
+  Alcotest.(check bool) "requirements correlate with volume" true
+    (avg accs.(1) > avg accs.(0));
+  (* the scheduler handles the family and meets the guarantee *)
+  let s = Sos.Fast.run inst in
+  Helpers.check_valid s;
+  let lb = Sos.Bounds.lower_bound inst in
+  Alcotest.(check bool) "within guarantee" true
+    (float_of_int s.Sos.Schedule.makespan
+    <= Sos.Bounds.guarantee_general ~m:8 *. float_of_int lb +. 1e-9)
+
+let test_pareto_heavy_tail () =
+  (* The Pareto sampler should produce a meaningfully heavier tail than the
+     uniform one at matched support. *)
+  let rng = Rng.create 21 in
+  let d = D.Pareto { alpha = 1.1; xmin = 1; cap = 1000 } in
+  let big = ref 0 in
+  for _ = 1 to 10_000 do
+    if D.sample rng d > 100 then incr big
+  done;
+  Alcotest.(check bool) "tail mass exists" true (!big > 50 && !big < 5_000)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "distributions in range" `Quick test_distributions_in_range;
+      Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+      Alcotest.test_case "families well-formed" `Quick test_families_well_formed;
+      Alcotest.test_case "unit_of" `Quick test_unit_of;
+      Alcotest.test_case "pure T1 precondition" `Quick test_pure_t1_precondition;
+      Alcotest.test_case "pure T2 precondition" `Quick test_pure_t2_precondition;
+      Alcotest.test_case "sas profiles" `Quick test_sas_profiles;
+      Alcotest.test_case "correlated family" `Quick test_correlated_family;
+      Alcotest.test_case "pareto heavy tail" `Quick test_pareto_heavy_tail;
+    ] )

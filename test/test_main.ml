@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sharing-is-caring"
+    [
+      Suite_prelude.suite;
+      Suite_instance.suite;
+      Suite_window.suite;
+      Suite_algorithm.suite;
+      Suite_binpack.suite;
+      Suite_exact.suite;
+      Suite_sas.suite;
+      Suite_baselines.suite;
+      Suite_workload.suite;
+      Suite_schedule.suite;
+      Suite_assign.suite;
+      Suite_online.suite;
+      Suite_corpus.suite;
+      Suite_scale.suite;
+    ]
