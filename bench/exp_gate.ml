@@ -1,0 +1,116 @@
+(* GATE — the reproducible perf gate: fast solver + RLE-native analytics on
+   fixed-seed instances, written to BENCH_fast.json so every future PR has
+   a wall-clock trajectory to regress against. The instances are exactly
+   the T7a shapes (n = 100..1600, m = 16, p_max = 20) plus two T7b
+   volume-scaling shapes, including the huge-volume one (p_max = 10^7)
+   whose analytics would take minutes if anything expanded the RLE.
+
+   Run: `dune exec bench/main.exe -- gate` (a few seconds). CI uploads the
+   JSON as an artifact; EXPERIMENTS.md explains how to read/refresh it. *)
+
+module Table = Prelude.Table
+open Exp_common
+
+(* (name, n, m, pmax, seed) — seeds match Exp_perf's T7a/T7b rows so the
+   gate numbers are directly comparable with the Bechamel tables. *)
+let shapes =
+  [
+    ("t7a-n100", 100, 16, 20, 3 * 100);
+    ("t7a-n200", 200, 16, 20, 3 * 200);
+    ("t7a-n400", 400, 16, 20, 3 * 400);
+    ("t7a-n800", 800, 16, 20, 3 * 800);
+    ("t7a-n1600", 1600, 16, 20, 3 * 1600);
+    ("t7b-n50-p1e7", 50, 8, 10_000_000, 7 * 50 * 10_000_000);
+    ("t7b-n3200-p1e5", 3200, 8, 100_000, 7 * 3200 * 100_000);
+  ]
+
+let reps = 3
+
+let best_of f =
+  let result = ref None and dt = ref infinity in
+  for _ = 1 to reps do
+    let r, t = time_it f in
+    result := Some r;
+    dt := min !dt t
+  done;
+  (Option.get !result, !dt)
+
+(* The full downstream pipeline on the solver output: everything here must
+   stay proportional to |steps|, not makespan. *)
+let analytics sched =
+  (match Sos.Schedule.validate sched with
+  | Ok () -> ()
+  | Error v -> failwith ("gate: invalid schedule: " ^ v.Sos.Schedule.reason));
+  ignore (Sos.Schedule.completion_times sched);
+  ignore (Sos.Schedule.utilization sched);
+  ignore (Sos.Schedule.assigned_utilization sched);
+  ignore (Sos.Schedule.jobs_per_step sched);
+  ignore (Sos.Schedule.total_waste sched);
+  ignore (Sos.Schedule.processor_assignment ~validate:false sched);
+  ignore (Sos.Schedule.render_gantt ~max_width:100 sched);
+  ignore (Sos.Export.utilization_to_csv sched)
+
+type row = {
+  name : string;
+  n : int;
+  m : int;
+  pmax : int;
+  wall_s : float;
+  iters : int;
+  steps : int;
+  makespan : int;
+  analytics_s : float;
+}
+
+let json_of_row r =
+  Printf.sprintf
+    "  {\"name\": %S, \"n\": %d, \"m\": %d, \"pmax\": %d, \"wall_s\": %.6f, \
+     \"iters\": %d, \"steps\": %d, \"makespan\": %d, \"analytics_s\": %.6f}"
+    r.name r.n r.m r.pmax r.wall_s r.iters r.steps r.makespan r.analytics_s
+
+let write_json path rows =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "[\n";
+      Out_channel.output_string oc (String.concat ",\n" (List.map json_of_row rows));
+      Out_channel.output_string oc "\n]\n")
+
+let gate () =
+  section "GATE — fast solver + RLE analytics perf gate (fixed seeds)";
+  let rows =
+    List.map
+      (fun (name, n, m, pmax, seed) ->
+        let inst = Exp_perf.make_instance ~n ~m ~pmax seed in
+        let (sched, iters), wall_s = best_of (fun () -> Sos.Fast.run_count inst) in
+        let (), analytics_s = best_of (fun () -> analytics sched) in
+        {
+          name; n; m; pmax; wall_s; iters;
+          steps = List.length sched.Sos.Schedule.steps;
+          makespan = sched.Sos.Schedule.makespan;
+          analytics_s;
+        })
+      shapes
+  in
+  let t =
+    Table.create
+      [
+        ("shape", Table.Left); ("n", Table.Right); ("max p_j", Table.Right);
+        ("makespan", Table.Right); ("iters", Table.Right); ("blocks", Table.Right);
+        ("solve", Table.Right); ("analytics", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.name; Table.fmt_int r.n; Table.fmt_int r.pmax; Table.fmt_int r.makespan;
+          Table.fmt_int r.iters; Table.fmt_int r.steps;
+          Printf.sprintf "%.2f ms" (r.wall_s *. 1e3);
+          Printf.sprintf "%.2f ms" (r.analytics_s *. 1e3);
+        ])
+    rows;
+  Table.print t;
+  let path = "BENCH_fast.json" in
+  write_json path rows;
+  note "wrote %s (best of %d runs per shape; analytics = validate + completions \
+        + profiles + waste + proc-assignment + gantt + csv, all RLE-native)"
+    path reps

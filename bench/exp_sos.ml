@@ -185,14 +185,17 @@ let f1 () =
   let rng = Rng.create (base_seed + 77) in
   let inst = Workload.Sos_gen.generate rng Workload.Sos_gen.bimodal ~n:60 ~m:6 () in
   let sched = Sos.Listing1.run inst in
-  let u = Sos.Schedule.utilization sched in
+  let u = Sos.Schedule.to_dense ~default:0.0 (Sos.Schedule.utilization sched) in
   note "instance: bimodal, n=60, m=6; makespan %d, LB %d, waste %d units"
     sched.Sos.Schedule.makespan (Sos.Bounds.lower_bound inst)
     (Sos.Schedule.total_waste sched);
   print_string
     (Prelude.Ascii_plot.series ~height:8 ~title:"resource utilization per step"
        ~x_label:"time step" ~y_label:"utilization" u);
-  let jobs = Array.map float_of_int (Sos.Schedule.jobs_per_step sched) in
+  let jobs =
+    Array.map float_of_int
+      (Sos.Schedule.to_dense ~default:0 (Sos.Schedule.jobs_per_step sched))
+  in
   print_string
     (Prelude.Ascii_plot.series ~height:8 ~title:"jobs scheduled per step"
        ~x_label:"time step" ~y_label:"#jobs" jobs)

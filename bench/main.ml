@@ -17,6 +17,7 @@ let all : (string * string * (unit -> unit)) list =
       fun () ->
         Exp_perf.t7_bechamel ();
         Exp_perf.t7_scaling () );
+    ("gate", "perf gate: solver + RLE analytics → BENCH_fast.json", Exp_gate.gate);
     ("f1", "utilization profile figure", Exp_sos.f1);
     ("f2", "window trajectory figure", Exp_sos.f2);
     ("f3", "guarantee curve figure", Exp_sos.f3);

@@ -121,6 +121,72 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an SoS instance and validate the schedule.")
     Term.(const run $ algo $ file $ gantt $ quiet)
 
+(* -------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let run algo file =
+    let inst = Sos.Instance.of_string (read_input file) in
+    let preemptive, sched =
+      match algo with
+      | `Window -> (false, Sos.Fast.run inst)
+      | `Listing1 -> (false, Sos.Listing1.run inst)
+      | `Literal -> (false, Sos.Fast.run ~variant:`Literal inst)
+      | `Unit -> (true, Sos.Splittable.run inst)
+      | `Unit_np -> (false, Sos.Splittable.run_nonpreemptive inst)
+      | `List_sched -> (false, Baselines.List_scheduling.run inst)
+      | `Greedy -> (false, Baselines.Greedy_fair.run inst)
+      | `Naive -> (false, Sos.Ablation.run_naive_fracture inst)
+      | `No_move -> (false, Sos.Ablation.run_no_move inst)
+      | `Preemptive -> (true, Sos.Preemptive.run inst)
+      | `Fixed -> (false, Baselines.Fixed_assignment.run inst)
+    in
+    (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
+    | Ok () -> ()
+    | Error v ->
+        Printf.eprintf "INVALID schedule at step %d: %s\n" v.Sos.Schedule.at_step
+          v.Sos.Schedule.reason;
+        exit 3);
+    (* Everything below reads the RLE blocks / step-function profiles:
+       safe on huge-volume instances whose makespan is in the millions. *)
+    let u = Sos.Schedule.utilization sched in
+    let seg_stats (p : float Sos.Schedule.profile) =
+      Array.fold_left
+        (fun (peak, sum) (_, len, v) -> (max peak v, sum +. (float_of_int len *. v)))
+        (0.0, 0.0) p
+    in
+    let peak, area = seg_stats u in
+    let jobs = Sos.Schedule.jobs_per_step sched in
+    let peak_jobs = Array.fold_left (fun acc (_, _, k) -> max acc k) 0 jobs in
+    Printf.printf "jobs            : %d\n" (Sos.Instance.n inst);
+    Printf.printf "processors      : %d\n" inst.Sos.Instance.m;
+    Printf.printf "makespan        : %d\n" sched.Sos.Schedule.makespan;
+    Printf.printf "RLE blocks      : %d\n" (List.length sched.Sos.Schedule.steps);
+    Printf.printf "profile segments: %d (utilization), %d (jobs)\n" (Array.length u)
+      (Array.length jobs);
+    Printf.printf "lower bound     : %d\n" (Sos.Bounds.lower_bound inst);
+    Printf.printf "mean completion : %.2f\n" (Sos.Schedule.mean_completion_time sched);
+    Printf.printf "utilization     : peak %.4f, mean %.4f\n" peak
+      (if sched.Sos.Schedule.makespan = 0 then 0.0
+       else area /. float_of_int sched.Sos.Schedule.makespan);
+    Printf.printf "peak jobs/step  : %d\n" peak_jobs;
+    Printf.printf "wasted resource : %d units (%.2f steps worth)\n"
+      (Sos.Schedule.total_waste sched)
+      (float_of_int (Sos.Schedule.total_waste sched)
+      /. float_of_int inst.Sos.Instance.scale);
+    0
+  in
+  let algo =
+    Arg.(value & opt algo_conv `Window & info [ "algo"; "a" ] ~doc:"Algorithm.")
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file or - for stdin.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Solve and report RLE-native analytics (strongly polynomial: safe for \
+             huge processing volumes).")
+    Term.(const run $ algo $ file)
+
 (* ---------------------------------------------------------------- ratio *)
 
 let ratio_cmd =
@@ -246,9 +312,13 @@ let export_cmd =
     let inst = Sos.Instance.of_string (read_input file) in
     (match what with
     | `Instance -> print_string (Sos.Export.instance_to_csv inst)
-    | `Schedule | `Utilization | `Trace | `Svg -> begin
+    | `Schedule | `Schedule_rle | `Utilization | `Trace | `Svg -> begin
         let sched, trace =
           match algo with
+          (* Only -w trace needs the step-by-step traced reference run; the
+             CSV/SVG writers are RLE-native, so give them the fast solver's
+             compressed schedule and stay strongly polynomial. *)
+          | `Window when what <> `Trace -> (Sos.Fast.run inst, [])
           | `Listing1 | `Window | `Literal -> Sos.Listing1.run_traced inst
           | `Unit -> (Sos.Splittable.run inst, [])
           | `Unit_np -> (Sos.Splittable.run_nonpreemptive inst, [])
@@ -261,6 +331,7 @@ let export_cmd =
         in
         match what with
         | `Schedule -> print_string (Sos.Export.schedule_to_csv sched)
+        | `Schedule_rle -> print_string (Sos.Export.schedule_to_csv_rle sched)
         | `Utilization -> print_string (Sos.Export.utilization_to_csv sched)
         | `Trace -> print_string (Sos.Export.trace_to_csv trace inst)
         | `Svg -> print_string (Sos.Svg.render ~title:"sosctl schedule" sched)
@@ -274,7 +345,8 @@ let export_cmd =
       & opt
           (enum
              [
-               ("schedule", `Schedule); ("instance", `Instance);
+               ("schedule", `Schedule); ("schedule-rle", `Schedule_rle);
+               ("instance", `Instance);
                ("utilization", `Utilization); ("trace", `Trace); ("svg", `Svg);
              ])
           `Schedule
@@ -371,4 +443,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; solve_cmd; ratio_cmd; binpack_cmd; sas_cmd; export_cmd; corpus_cmd; hardness_cmd ]))
+          [
+            gen_cmd; solve_cmd; analyze_cmd; ratio_cmd; binpack_cmd; sas_cmd;
+            export_cmd; corpus_cmd; hardness_cmd;
+          ]))

@@ -68,10 +68,11 @@ let () =
 
   print_endline "uplink utilization under the window algorithm:";
   let sched = Sos.Listing1.run inst in
-  print_endline ("  " ^ Prelude.Ascii_plot.sparkline (Sos.Schedule.utilization sched));
+  let dense s = Sos.Schedule.to_dense ~default:0.0 (Sos.Schedule.utilization s) in
+  print_endline ("  " ^ Prelude.Ascii_plot.sparkline (dense sched));
   print_endline "and under list scheduling (reserved full shares):";
   let ls = Baselines.List_scheduling.run inst in
-  print_endline ("  " ^ Prelude.Ascii_plot.sparkline (Sos.Schedule.utilization ls));
+  print_endline ("  " ^ Prelude.Ascii_plot.sparkline (dense ls));
   print_newline ();
   print_endline
     "The window algorithm packs partial shares around the big shuffles; list\n\

@@ -53,10 +53,16 @@ let () =
   Printf.printf "clairvoyant bound     : %d\n" lb;
   Printf.printf "online/clairvoyant    : %.4f\n\n"
     (float_of_int r.Sos.Online.makespan /. float_of_int lb);
-  let u = Sos.Schedule.utilization r.Sos.Online.schedule in
+  let u =
+    Sos.Schedule.to_dense ~default:0.0 (Sos.Schedule.utilization r.Sos.Online.schedule)
+  in
   print_endline "rack power draw over the day (fraction of cap):";
   print_endline ("  " ^ Prelude.Ascii_plot.sparkline u);
-  let jobs = Array.map float_of_int (Sos.Schedule.jobs_per_step r.Sos.Online.schedule) in
+  let jobs =
+    Array.map float_of_int
+      (Sos.Schedule.to_dense ~default:0
+         (Sos.Schedule.jobs_per_step r.Sos.Online.schedule))
+  in
   print_endline "servers busy:";
   print_endline ("  " ^ Prelude.Ascii_plot.sparkline jobs);
   print_newline ();

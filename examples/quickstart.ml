@@ -39,4 +39,6 @@ let () =
   print_newline ();
   print_endline "resource utilization per step:";
   print_endline
-    ("  " ^ Prelude.Ascii_plot.sparkline (Sos.Schedule.utilization schedule))
+    ("  "
+    ^ Prelude.Ascii_plot.sparkline
+        (Sos.Schedule.to_dense ~default:0.0 (Sos.Schedule.utilization schedule)))

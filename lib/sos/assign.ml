@@ -15,16 +15,60 @@ let alloc st i assigned =
   let consumed = min (min assigned (req st i)) (State.s st i) in
   { Schedule.job = i; assigned; consumed }
 
-let compute st w ~budget ~extra =
+(* Reusable allocation buffer: [compute] builds each step's allocations
+   into it in window order and materializes the final list in one backward
+   pass — no List.rev, no O(n) [@] append for the extra job. The
+   step-skipping solver allocates one scratch per run and passes it to
+   every iteration. *)
+type scratch = { mutable buf : Schedule.alloc array; mutable len : int }
+
+let dummy_alloc = { Schedule.job = -1; assigned = 0; consumed = 0 }
+
+let make_scratch () = { buf = Array.make 16 dummy_alloc; len = 0 }
+
+let push sc a =
+  let cap = Array.length sc.buf in
+  if sc.len = cap then begin
+    let buf = Array.make (2 * cap) dummy_alloc in
+    Array.blit sc.buf 0 buf 0 cap;
+    sc.buf <- buf
+  end;
+  sc.buf.(sc.len) <- a;
+  sc.len <- sc.len + 1
+
+let list_of sc =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (sc.buf.(i) :: acc) in
+  go (sc.len - 1) []
+
+let compute ?scratch st w ~budget ~extra =
   if Window.is_empty w then invalid_arg "Assign.compute: empty window";
-  let ms = Window.members st w in
-  let iota =
-    match List.filter (State.fractured st) ms with
-    | [] -> None
-    | [ i ] -> Some i
-    | _ -> invalid_arg "Assign.compute: more than one fractured job in window"
+  let sc =
+    match scratch with
+    | Some sc ->
+        sc.len <- 0;
+        sc
+    | None -> make_scratch ()
   in
+  let first = match Window.first w with Some j -> j | None -> assert false in
   let mx = match Window.last w with Some j -> j | None -> assert false in
+  (* One walk of the window's linked-list range per pass — the member list
+     is never materialized. *)
+  let iter_window f =
+    let rec go j =
+      f j;
+      if j <> mx then
+        match State.next_remaining st j with
+        | Some k -> go k
+        | None -> invalid_arg "Assign.compute: broken window range"
+    in
+    go first
+  in
+  let iota = ref (-1) in
+  iter_window (fun j ->
+      if State.fractured st j then
+        if !iota < 0 then iota := j
+        else invalid_arg "Assign.compute: more than one fractured job in window");
+  let iota = if !iota < 0 then None else Some !iota in
   let r_rest =
     Window.rsum w - (match iota with Some i -> req st i | None -> 0)
   in
@@ -35,23 +79,19 @@ let compute st w ~budget ~extra =
     | Some i when i = mx -> invalid_arg "Assign.compute: fractured max W in case 1"
     | _ -> ());
     let spent = ref 0 in
-    let allocs =
-      List.map
-        (fun j ->
-          let a =
-            if Some j = iota then alloc st j (State.q st j)
-            else if j = mx then begin
-              let rest = budget - !spent in
-              (* WLOG R_i(t) ≤ r_j: cap the handed-out share. *)
-              alloc st j (min rest (req st j))
-            end
-            else alloc st j (req st j)
-          in
-          spent := !spent + a.Schedule.assigned;
-          a)
-        ms
-    in
-    { allocs; window = w; case = Case_full; extra = None }
+    iter_window (fun j ->
+        let a =
+          if Some j = iota then alloc st j (State.q st j)
+          else if j = mx then begin
+            let rest = budget - !spent in
+            (* WLOG R_i(t) ≤ r_j: cap the handed-out share. *)
+            alloc st j (min rest (req st j))
+          end
+          else alloc st j (req st j)
+        in
+        spent := !spent + a.Schedule.assigned;
+        push sc a);
+    { allocs = list_of sc; window = w; case = Case_full; extra = None }
   end
   else begin
     (* Case 2: r(W∖F) < budget. *)
@@ -60,24 +100,20 @@ let compute st w ~budget ~extra =
       | None -> 0
       | Some i -> min (budget - r_rest) (min (State.s st i) (req st i))
     in
-    let allocs =
-      List.map
-        (fun j ->
-          if Some j = iota then alloc st j iota_amount else alloc st j (req st j))
-        ms
-    in
+    iter_window (fun j ->
+        push sc (if Some j = iota then alloc st j iota_amount else alloc st j (req st j)));
     let leftover = budget - r_rest - iota_amount in
     let extra_job = if extra && leftover > 0 then Window.right_neighbor st w else None in
     match extra_job with
     | Some x ->
-        let a = alloc st x (min leftover (req st x)) in
+        push sc (alloc st x (min leftover (req st x)));
         {
-          allocs = allocs @ [ a ];
+          allocs = list_of sc;
           window = Window.add_right st w;
           case = Case_partial;
           extra = Some x;
         }
-    | None -> { allocs; window = w; case = Case_partial; extra = None }
+    | None -> { allocs = list_of sc; window = w; case = Case_partial; extra = None }
   end
 
 let apply st outcome =

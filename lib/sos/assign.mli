@@ -24,10 +24,20 @@ type outcome = {
   extra : int option;  (** the job started on the m-th processor, if any *)
 }
 
-val compute : State.t -> Window.t -> budget:int -> extra:bool -> outcome
-(** Does not mutate the state. Raises [Invalid_argument] on an empty window
-    (callers only invoke it while unfinished jobs remain, so the computed
-    window is never empty). *)
+type scratch
+(** Reusable allocation buffer for {!compute}: avoids re-allocating the
+    intermediate per-step structures in hot solver loops. The returned
+    [outcome.allocs] list is always freshly built, so reusing one scratch
+    across iterations never aliases earlier outcomes. *)
+
+val make_scratch : unit -> scratch
+
+val compute : ?scratch:scratch -> State.t -> Window.t -> budget:int -> extra:bool -> outcome
+(** Does not mutate the state. Walks the window's linked-list range
+    directly (two passes: locate the fractured job, then build the
+    allocations in order) without materializing {!Window.members}. Raises
+    [Invalid_argument] on an empty window (callers only invoke it while
+    unfinished jobs remain, so the computed window is never empty). *)
 
 val apply : State.t -> outcome -> int list
 (** Consumes the outcome's allocations and returns the jobs that finished

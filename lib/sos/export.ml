@@ -15,6 +15,17 @@ let schedule_to_csv (sched : Schedule.t) =
     sched.steps;
   Buffer.contents buf
 
+let schedule_to_csv_rle (sched : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "t0,repeat,job,assigned,consumed\n";
+  Schedule.fold_segments sched ~init:() ~f:(fun () ~t0 ~repeat allocs ->
+      List.iter
+        (fun (a : Schedule.alloc) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%d,%d,%d\n" t0 repeat a.job a.assigned a.consumed))
+        allocs);
+  Buffer.contents buf
+
 let instance_to_csv (inst : Instance.t) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "job,original_position,size,req,scale,m\n";
@@ -28,15 +39,19 @@ let instance_to_csv (inst : Instance.t) =
 
 let utilization_to_csv (sched : Schedule.t) =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "step,assigned,consumed,jobs\n";
-  let assigned = Schedule.assigned_utilization sched in
-  let consumed = Schedule.utilization sched in
-  let jobs = Schedule.jobs_per_step sched in
-  Array.iteri
-    (fun i a ->
+  Buffer.add_string buf "t0,len,assigned,consumed,jobs\n";
+  let scale = float_of_int sched.Schedule.inst.Instance.scale in
+  Schedule.fold_segments sched ~init:() ~f:(fun () ~t0 ~repeat allocs ->
+      let assigned, consumed, jobs =
+        List.fold_left
+          (fun (a, c, k) (al : Schedule.alloc) -> (a + al.assigned, c + al.consumed, k + 1))
+          (0, 0, 0) allocs
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%d,%.6f,%.6f,%d\n" i a consumed.(i) jobs.(i)))
-    assigned;
+        (Printf.sprintf "%d,%d,%.6f,%.6f,%d\n" t0 repeat
+           (float_of_int assigned /. scale)
+           (float_of_int consumed /. scale)
+           jobs));
   Buffer.contents buf
 
 let trace_to_csv (trace : Listing1.step_info list) (inst : Instance.t) =

@@ -1,9 +1,13 @@
-let alloc_eq (a : Schedule.alloc list) (b : Schedule.alloc list) =
-  List.length a = List.length b
-  && List.for_all2
-       (fun (x : Schedule.alloc) (y : Schedule.alloc) ->
-         x.job = y.job && x.assigned = y.assigned && x.consumed = y.consumed)
-       a b
+(* Single-walk structural equality with early exit; only consulted after
+   the O(1) (version, window) fingerprint check passes, so the lists are
+   the same ≤ m members and usually equal. *)
+let rec alloc_eq (a : Schedule.alloc list) (b : Schedule.alloc list) =
+  match (a, b) with
+  | [], [] -> true
+  | x :: a, y :: b ->
+      x.job = y.job && x.assigned = y.assigned && x.consumed = y.consumed
+      && alloc_eq a b
+  | _ -> false
 
 (* How many further identical steps are provably safe to skip. Called after
    the current step's consumption has been applied. *)
@@ -57,6 +61,7 @@ let run_count ?(variant = `Fixed) inst =
   let carried = ref Window.empty in
   let prev = ref None in
   let iters = ref 0 in
+  let scratch = Assign.make_scratch () in
   while not (State.all_finished st) do
     incr iters;
     (* Backstop against a skip-logic regression: between two completions the
@@ -65,15 +70,19 @@ let run_count ?(variant = `Fixed) inst =
     if !iters > (100 * Instance.n inst) + 1000 then
       failwith "Fast.run: iteration budget exceeded (internal error)";
     let w = Window.compute ~variant st !carried ~size ~budget in
-    let members = Window.members st w in
-    let outcome = Assign.compute st w ~budget ~extra:true in
+    let outcome = Assign.compute ~scratch st w ~budget ~extra:true in
     let finished_jobs = Assign.apply st outcome in
     State.tick st;
     let extra_reps =
       if finished_jobs <> [] then 0
       else begin
+        (* Same member set iff the state saw no unlink since [prev] was
+           recorded and the range fingerprint matches — O(1), replacing the
+           per-iteration Window.members rebuild + list comparison. *)
         match !prev with
-        | Some (pa, pm) when alloc_eq pa outcome.Assign.allocs && pm = members ->
+        | Some (pa, pw, pv)
+          when pv = State.version st && Window.equal pw w
+               && alloc_eq pa outcome.Assign.allocs ->
             skip_length st outcome w
         | _ -> 0
       end
@@ -90,7 +99,8 @@ let run_count ?(variant = `Fixed) inst =
     else begin
       steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 } :: !steps;
       prev :=
-        if finished_jobs = [] then Some (outcome.Assign.allocs, members) else None
+        if finished_jobs = [] then Some (outcome.Assign.allocs, w, State.version st)
+        else None
     end;
     let survivors = Window.prune st outcome.Assign.window in
     List.iter (State.unlink st) finished_jobs;

@@ -14,6 +14,30 @@ let make inst steps =
 
 let empty inst = { inst; steps = []; makespan = 0 }
 
+(* ------------------------------------------------------- RLE iteration *)
+
+(* Everything below is built on these two: one pass over the run-length
+   encoded blocks, O(|allocs|) work per block, never per expanded step.
+   [t0] is the expanded time index of the block's first step. *)
+
+let fold_segments t ~init ~f =
+  let acc, _ =
+    List.fold_left
+      (fun (acc, t0) st -> (f acc ~t0 ~repeat:st.repeat st.allocs, t0 + st.repeat))
+      (init, 0) t.steps
+  in
+  acc
+
+let segments t =
+  let rec go t0 steps () =
+    match steps with
+    | [] -> Seq.Nil
+    | st :: rest -> Seq.Cons ((t0, st.repeat, st.allocs), go (t0 + st.repeat) rest)
+  in
+  go 0 t.steps
+
+(* ----------------------------------------------------------- validation *)
+
 type violation = { at_step : int; reason : string }
 
 let violation at_step fmt = Format.kasprintf (fun reason -> { at_step; reason }) fmt
@@ -28,14 +52,13 @@ let validate ?(preemption_ok = false) t =
   let last_seen = Array.make n (-1) in
   let steps_seen = Array.make n 0 in
   try
-    let time = ref 0 in
-    List.iter
-      (fun st ->
-        let t0 = !time in
+    fold_segments t ~init:() ~f:(fun () ~t0 ~repeat allocs ->
         let seen = Hashtbl.create 8 in
+        let count = ref 0 in
         let total_assigned =
           List.fold_left
             (fun acc a ->
+              incr count;
               if a.job < 0 || a.job >= n then
                 raise (Bad (violation t0 "allocation for unknown job %d" a.job));
               if Hashtbl.mem seen a.job then
@@ -52,37 +75,33 @@ let validate ?(preemption_ok = false) t =
                   (Bad
                      (violation t0 "job %d: consumed %d > min(assigned=%d, r=%d)"
                         a.job a.consumed a.assigned r));
-              let used = st.repeat * a.consumed in
+              let used = repeat * a.consumed in
               if used > remaining.(a.job) then
                 raise
                   (Bad
                      (violation t0 "job %d: over-consumed (%d > remaining %d)" a.job
                         used remaining.(a.job)));
               remaining.(a.job) <- remaining.(a.job) - used;
-              if a.consumed < cap && (st.repeat > 1 || remaining.(a.job) <> 0) then
+              if a.consumed < cap && (repeat > 1 || remaining.(a.job) <> 0) then
                 raise
                   (Bad
                      (violation t0
                         "job %d: under-consumed (%d < %d) outside its finishing step"
                         a.job a.consumed cap));
               if first_seen.(a.job) < 0 then first_seen.(a.job) <- t0;
-              last_seen.(a.job) <- t0 + st.repeat - 1;
-              steps_seen.(a.job) <- steps_seen.(a.job) + st.repeat;
+              last_seen.(a.job) <- t0 + repeat - 1;
+              steps_seen.(a.job) <- steps_seen.(a.job) + repeat;
               acc + a.assigned)
-            0 st.allocs
+            0 allocs
         in
         if total_assigned > inst.Instance.scale then
           raise
             (Bad
                (violation t0 "resource overused: %d > scale %d" total_assigned
                   inst.Instance.scale));
-        if List.length st.allocs > inst.Instance.m then
+        if !count > inst.Instance.m then
           raise
-            (Bad
-               (violation t0 "too many jobs in one step: %d > m=%d"
-                  (List.length st.allocs) inst.Instance.m));
-        time := t0 + st.repeat)
-      t.steps;
+            (Bad (violation t0 "too many jobs in one step: %d > m=%d" !count inst.Instance.m)));
     for j = 0 to n - 1 do
       if remaining.(j) <> 0 then
         raise (Bad (violation (-1) "job %d not finished: %d units left" j remaining.(j)));
@@ -101,26 +120,26 @@ let assert_valid ?preemption_ok t =
   | Ok () -> ()
   | Error v -> failwith (Printf.sprintf "invalid schedule at step %d: %s" v.at_step v.reason)
 
-let processor_assignment t =
-  (match validate t with
-  | Ok () -> ()
-  | Error v ->
-      failwith
-        (Printf.sprintf "processor_assignment: invalid schedule at %d: %s" v.at_step
-           v.reason));
+let processor_assignment =
+  let full_validate = validate in
+  fun ?(validate = true) t ->
+  (if validate then
+     match full_validate t with
+     | Ok () -> ()
+     | Error v ->
+         failwith
+           (Printf.sprintf "processor_assignment: invalid schedule at %d: %s" v.at_step
+              v.reason));
   let inst = t.inst in
   let n = Instance.n inst in
   let proc_of = Array.make n (-1) in
-  let start_of = Array.make n (-1) in
   let free = Queue.create () in
   for p = inst.Instance.m - 1 downto 0 do
     Queue.push p free
   done;
   let remaining = Array.init n (fun i -> Job.s (Instance.job inst i)) in
   let result = ref [] in
-  let time = ref 0 in
-  List.iter
-    (fun st ->
+  fold_segments t ~init:() ~f:(fun () ~t0 ~repeat allocs ->
       (* Assign processors to jobs appearing for the first time. *)
       List.iter
         (fun a ->
@@ -128,18 +147,15 @@ let processor_assignment t =
             if Queue.is_empty free then failwith "processor_assignment: no free processor";
             let p = Queue.pop free in
             proc_of.(a.job) <- p;
-            start_of.(a.job) <- !time;
-            result := (a.job, p, !time) :: !result
+            result := (a.job, p, t0) :: !result
           end)
-        st.allocs;
+        allocs;
       (* Release processors of jobs that finish within this block. *)
       List.iter
         (fun a ->
-          remaining.(a.job) <- remaining.(a.job) - (st.repeat * a.consumed);
+          remaining.(a.job) <- remaining.(a.job) - (repeat * a.consumed);
           if remaining.(a.job) = 0 then Queue.push proc_of.(a.job) free)
-        st.allocs;
-      time := !time + st.repeat)
-    t.steps;
+        allocs);
   List.rev !result
 
 let expand t =
@@ -154,16 +170,12 @@ let expand t =
 let job_spans t =
   let n = Instance.n t.inst in
   let first = Array.make n (-1) and last = Array.make n (-1) in
-  let time = ref 0 in
-  List.iter
-    (fun st ->
+  fold_segments t ~init:() ~f:(fun () ~t0 ~repeat allocs ->
       List.iter
         (fun a ->
-          if first.(a.job) < 0 then first.(a.job) <- !time;
-          last.(a.job) <- !time + st.repeat - 1)
-        st.allocs;
-      time := !time + st.repeat)
-    t.steps;
+          if first.(a.job) < 0 then first.(a.job) <- t0;
+          last.(a.job) <- t0 + repeat - 1)
+        allocs);
   List.filter_map
     (fun j -> if first.(j) >= 0 then Some (j, first.(j), last.(j)) else None)
     (List.init n Fun.id)
@@ -172,24 +184,20 @@ let completion_times t =
   let n = Instance.n t.inst in
   let remaining = Array.init n (fun i -> Job.s (Instance.job t.inst i)) in
   let completion = Array.make n 0 in
-  let time = ref 0 in
-  List.iter
-    (fun st ->
+  fold_segments t ~init:() ~f:(fun () ~t0 ~repeat allocs ->
       List.iter
         (fun a ->
           if a.consumed > 0 && remaining.(a.job) > 0 then begin
             let before = remaining.(a.job) in
-            remaining.(a.job) <- before - (st.repeat * a.consumed);
+            remaining.(a.job) <- before - (repeat * a.consumed);
             if remaining.(a.job) <= 0 then begin
               (* finished within this block: at its ⌈before/consumed⌉-th
                  repetition *)
               let reps = ((before - 1) / a.consumed) + 1 in
-              completion.(a.job) <- !time + reps
+              completion.(a.job) <- t0 + reps
             end
           end)
-        st.allocs;
-      time := !time + st.repeat)
-    t.steps;
+        allocs);
   Array.iteri
     (fun j c ->
       if c = 0 && Job.s (Instance.job t.inst j) > 0 then
@@ -203,53 +211,62 @@ let mean_completion_time t =
   let n = Instance.n t.inst in
   if n = 0 then 0.0 else float_of_int (sum_completion_times t) /. float_of_int n
 
-let fold_expanded t f init =
-  List.fold_left
-    (fun acc st ->
-      let rec reps acc k = if k = 0 then acc else reps (f acc st.allocs) (k - 1) in
-      reps acc st.repeat)
-    init t.steps
+(* -------------------------------------------------- step-function views *)
 
-let per_step_array t f =
-  let out = Array.make t.makespan 0.0 in
-  let i =
-    fold_expanded t
-      (fun i allocs ->
-        out.(i) <- f allocs;
-        i + 1)
-      0
-  in
-  assert (i = t.makespan);
+type 'a profile = (int * int * 'a) array
+
+let profile_make t f =
+  (* One value per RLE block, adjacent equal values merged: |profile| ≤
+     |steps|, and often much smaller (long constant phases). *)
+  let segs = ref [] and count = ref 0 in
+  fold_segments t ~init:() ~f:(fun () ~t0 ~repeat allocs ->
+      let v = f allocs in
+      match !segs with
+      | (pt0, plen, pv) :: rest when pv = v && pt0 + plen = t0 ->
+          segs := (pt0, plen + repeat, v) :: rest
+      | _ ->
+          segs := (t0, repeat, v) :: !segs;
+          incr count);
+  let out = Array.make !count (0, 0, f []) in
+  List.iteri (fun i seg -> out.(!count - 1 - i) <- seg) !segs;
+  out
+
+let profile_length (p : _ profile) =
+  match Array.length p with
+  | 0 -> 0
+  | k ->
+      let t0, len, _ = p.(k - 1) in
+      t0 + len
+
+let to_dense ?cap ~default (p : 'a profile) =
+  let total = profile_length p in
+  let n = match cap with Some c -> min (max c 0) total | None -> total in
+  let out = Array.make n default in
+  Array.iter
+    (fun (t0, len, v) ->
+      for i = t0 to min (t0 + len) n - 1 do
+        out.(i) <- v
+      done)
+    p;
   out
 
 let utilization t =
   let scale = float_of_int t.inst.Instance.scale in
-  per_step_array t (fun allocs ->
+  profile_make t (fun allocs ->
       float_of_int (List.fold_left (fun acc a -> acc + a.consumed) 0 allocs) /. scale)
 
 let assigned_utilization t =
   let scale = float_of_int t.inst.Instance.scale in
-  per_step_array t (fun allocs ->
+  profile_make t (fun allocs ->
       float_of_int (List.fold_left (fun acc a -> acc + a.assigned) 0 allocs) /. scale)
 
-let jobs_per_step t =
-  let out = Array.make t.makespan 0 in
-  let i =
-    fold_expanded t
-      (fun i allocs ->
-        out.(i) <- List.length allocs;
-        i + 1)
-      0
-  in
-  assert (i = t.makespan);
-  out
+let jobs_per_step t = profile_make t List.length
 
 let total_waste t =
-  List.fold_left
-    (fun acc st ->
-      acc
-      + st.repeat * List.fold_left (fun acc a -> acc + (a.assigned - a.consumed)) 0 st.allocs)
-    0 t.steps
+  fold_segments t ~init:0 ~f:(fun acc ~t0:_ ~repeat allocs ->
+      acc + (repeat * List.fold_left (fun acc a -> acc + (a.assigned - a.consumed)) 0 allocs))
+
+(* -------------------------------------------------------------- display *)
 
 let job_glyph j =
   let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
@@ -260,17 +277,20 @@ let render_gantt ?(max_width = 120) t =
   let width = min t.makespan max_width in
   let grid = Array.make_matrix m width '.' in
   let proc_of = Array.make (Instance.n t.inst) (-1) in
-  List.iter (fun (j, p, _) -> proc_of.(j) <- p) (processor_assignment t);
-  let _ =
-    fold_expanded t
-      (fun i allocs ->
-        if i < width then
-          List.iter
-            (fun a -> if proc_of.(a.job) >= 0 then grid.(proc_of.(a.job)).(i) <- job_glyph a.job)
-            allocs;
-        i + 1)
-      0
-  in
+  List.iter (fun (j, p, _) -> proc_of.(j) <- p) (processor_assignment ~validate:false t);
+  (* Only the blocks that intersect the visible columns are walked: the
+     render cost is O(m·max_width), independent of the makespan. *)
+  Seq.iter
+    (fun (t0, repeat, allocs) ->
+      let hi = min (t0 + repeat) width - 1 in
+      List.iter
+        (fun a ->
+          if proc_of.(a.job) >= 0 then
+            for i = t0 to hi do
+              grid.(proc_of.(a.job)).(i) <- job_glyph a.job
+            done)
+        allocs)
+    (Seq.take_while (fun (t0, _, _) -> t0 < width) (segments t));
   let buf = Buffer.create ((m + 1) * (width + 8)) in
   for p = 0 to m - 1 do
     Buffer.add_string buf (Printf.sprintf "p%-2d " p);

@@ -6,7 +6,18 @@
     [repeat > 1]). For every allocation, [assigned] is the resource share
     handed to the job's processor and [consumed] the amount of its remaining
     requirement actually paid for, i.e. [min(assigned, r_j, s_j(t−1))];
-    [assigned − consumed] is wasted resource. *)
+    [assigned − consumed] is wasted resource.
+
+    {b Strongly-polynomial analytics.} Every query below ([validate],
+    [completion_times], [utilization], [jobs_per_step], [total_waste],
+    [job_spans], [processor_assignment], [render_gantt]) is computed by a
+    single fold over the RLE blocks, doing O(|allocs|) work per {e block} —
+    never per expanded time step. On the [Fast] solver's output that is
+    O((m+n)·n) total (Theorem 3.3's bound), independent of the processing
+    volumes; a schedule with makespan 10⁷ and a few hundred blocks is
+    analyzed in microseconds. Per-step views are exposed as compact step
+    functions ({!profile}); {!to_dense} and {!expand} are the explicit,
+    capped escape hatches back to Θ(makespan) form. *)
 
 type alloc = { job : int; assigned : int; consumed : int }
 
@@ -24,6 +35,21 @@ val make : Instance.t -> step list -> t
 
 val empty : Instance.t -> t
 
+(** {1 RLE-native iteration} *)
+
+val fold_segments :
+  t -> init:'acc -> f:('acc -> t0:int -> repeat:int -> alloc list -> 'acc) -> 'acc
+(** Fold over the run-length-encoded blocks in time order. [t0] is the
+    expanded time index of the block's first step; the block covers
+    [t0 .. t0+repeat−1]. All analytics in this module are built on this
+    (or on {!segments}) and inherit its O(Σ|allocs|) cost. *)
+
+val segments : t -> (int * int * alloc list) Seq.t
+(** The blocks as a lazy [(t0, repeat, allocs)] sequence, for consumers
+    that terminate early (e.g. {!render_gantt} stops at its column cap). *)
+
+(** {1 Validation} *)
+
 type violation = {
   at_step : int;  (** expanded time index (0-based), or -1 for global *)
   reason : string;
@@ -39,7 +65,9 @@ val validate : ?preemption_ok:bool -> t -> (unit, violation) result
       (non-preemption) and a fixed-processor assignment exists
       (non-migration) — with [≤ m] jobs per step and contiguous intervals
       a greedy interval coloring always suffices, and the validator
-      constructs it. *)
+      constructs it.
+
+    One pass over the RLE blocks: O(Σ|allocs|), independent of makespan. *)
 
 val assert_valid : ?preemption_ok:bool -> t -> unit
 (** Raises [Failure] with the violation message. *)
@@ -47,12 +75,16 @@ val assert_valid : ?preemption_ok:bool -> t -> unit
 val expand : t -> t
 (** Replace every run-length-encoded step by [repeat] copies. Semantically
     identical; [validate] agrees on both forms (tested property). Only for
-    moderate makespans. *)
+    moderate makespans — this is the Θ(makespan) escape hatch. *)
 
-val processor_assignment : t -> (int * int * int) list
+val processor_assignment : ?validate:bool -> t -> (int * int * int) list
 (** [(job, processor, start_step)] for each job, computed by greedy interval
-    coloring over the expanded timeline; requires a valid non-preemptive
-    schedule. Raises [Failure] otherwise. *)
+    coloring over the block timeline; requires a valid non-preemptive
+    schedule. By default the schedule is validated first and [Failure] is
+    raised otherwise; internal render/export callers pass [~validate:false]
+    to avoid re-validating a schedule they already checked (the coloring
+    itself still fails loudly on schedules needing more than [m]
+    processors). *)
 
 val job_spans : t -> (int * int * int) list
 (** [(job, first_step, last_step)] (0-based, inclusive) for every job that
@@ -63,27 +95,53 @@ val completion_times : t -> int array
 (** Per job, the 1-based step in which its consumption completes [s_j]
     (0 for a job with [s_j = 0] allocations only — impossible for valid
     schedules of well-formed instances). Raises [Invalid_argument] if some
-    job never completes. *)
+    job never completes. Completion inside a [repeat > 1] block is located
+    by division, not simulation. *)
 
 val sum_completion_times : t -> int
 val mean_completion_time : t -> float
 (** 0 on the empty instance. *)
 
-val utilization : t -> float array
-(** Per expanded step, [Σ consumed / scale]. Length = makespan. Intended for
-    the figure experiments; expands the RLE, so use on small schedules. *)
+(** {1 Step-function profiles}
 
-val assigned_utilization : t -> float array
-(** Per expanded step, [Σ assigned / scale]. *)
+    Per-step analytics are returned as compact step functions: a
+    [(t0, len, value)] array, consecutive and gap-free, covering
+    [0 .. makespan−1] with adjacent equal values merged. [|profile| ≤
+    |steps|], so the representation stays proportional to the solver
+    output, not to the makespan. *)
 
-val jobs_per_step : t -> int array
-(** Per expanded step, number of allocations. *)
+type 'a profile = (int * int * 'a) array
+(** [(t0, len, value)]: the value holds on expanded steps
+    [t0 .. t0+len−1]. *)
+
+val profile_length : 'a profile -> int
+(** Total covered length ([makespan] for the profiles produced here). *)
+
+val to_dense : ?cap:int -> default:'a -> 'a profile -> 'a array
+(** Expand a profile to one cell per time step, for plotting. [cap] bounds
+    the array length (the profile is truncated, keeping the first [cap]
+    steps); without it the full [profile_length] is materialized —
+    Θ(makespan), so always pass [cap] on schedules of huge-volume
+    instances. [default] fills a (never-occurring) gap and types the empty
+    array. *)
+
+val utilization : t -> float profile
+(** Per step, [Σ consumed / scale], as a step function. *)
+
+val assigned_utilization : t -> float profile
+(** Per step, [Σ assigned / scale], as a step function. *)
+
+val jobs_per_step : t -> int profile
+(** Per step, number of allocations, as a step function. *)
 
 val total_waste : t -> int
 (** [Σ (assigned − consumed)] over all steps, in resource units. *)
 
+(** {1 Rendering} *)
+
 val render_gantt : ?max_width:int -> t -> string
 (** ASCII Gantt chart (rows = processors, columns = time steps); truncated
-    to [max_width] (default 120) columns. *)
+    to [max_width] (default 120) columns. Only the blocks intersecting the
+    visible columns are walked — O(m·max_width) regardless of makespan. *)
 
 val pp : Format.formatter -> t -> unit

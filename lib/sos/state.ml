@@ -7,6 +7,7 @@ type t = {
   mutable head : int; (* -1 when empty *)
   mutable remaining : int;
   mutable now : int;
+  mutable version : int; (* membership mutations (unlinks) so far *)
 }
 
 let create inst =
@@ -23,6 +24,7 @@ let create inst =
     head = (if n = 0 then -1 else 0);
     remaining = n;
     now = 0;
+    version = 0;
   }
 
 let copy t =
@@ -36,6 +38,7 @@ let copy t =
 
 let instance t = t.inst
 let now t = t.now
+let version t = t.version
 let tick t = t.now <- t.now + 1
 
 let advance t k =
@@ -74,7 +77,8 @@ let unlink t i =
   if p >= 0 then t.next.(p) <- n else t.head <- n;
   if n >= 0 then t.prev.(n) <- p;
   t.linked.(i) <- false;
-  t.remaining <- t.remaining - 1
+  t.remaining <- t.remaining - 1;
+  t.version <- t.version + 1
 
 let remaining_jobs t =
   let rec walk acc i = if i < 0 then List.rev acc else walk (i :: acc) t.next.(i) in

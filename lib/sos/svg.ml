@@ -20,7 +20,7 @@ let color_of_job j =
   let byte v = int_of_float (255.0 *. (v +. m)) in
   Printf.sprintf "#%02x%02x%02x" (byte r) (byte g) (byte b)
 
-let render ?(width = 960) ?(row_height = 22) ?title sched =
+let render ?(width = 960) ?(row_height = 22) ?(validate = true) ?title sched =
   let inst = sched.Schedule.inst in
   let m = inst.Instance.m in
   let makespan = max 1 sched.Schedule.makespan in
@@ -43,7 +43,7 @@ let render ?(width = 960) ?(row_height = 22) ?title sched =
   | None -> ());
   (* Rows: one bar per (job, contiguous interval). Rebuild intervals from
      the processor assignment. *)
-  let placements = Schedule.processor_assignment sched in
+  let placements = Schedule.processor_assignment ~validate sched in
   let proc_of = Hashtbl.create 64 and start_of = Hashtbl.create 64 in
   List.iter
     (fun (j, p, t0) ->
@@ -80,22 +80,23 @@ let render ?(width = 960) ?(row_height = 22) ?title sched =
              "<text x=\"%d\" y=\"%d\" fill=\"#000\">%d</text>\n"
              (x0 + 3) (y + row_height - 7) j))
     proc_of;
-  (* Utilization strip. *)
+  (* Utilization strip: one rect per step-function segment, not per time
+     step — both smaller output and O(|steps|) render time. *)
   let u = Schedule.utilization sched in
   let y0 = title_h + (m * row_height) + 12 in
   Buffer.add_string buf
     (Printf.sprintf
        "<text x=\"2\" y=\"%d\" fill=\"#555\" font-size=\"9\">res</text>\n"
        (y0 + strip_h - 14));
-  Array.iteri
-    (fun t v ->
+  Array.iter
+    (fun (t0, len, v) ->
       let h = int_of_float (v *. float_of_int (strip_h - 12)) in
       Buffer.add_string buf
         (Printf.sprintf
            "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#4477aa\"/>\n"
-           (x_of t)
+           (x_of t0)
            (y0 + (strip_h - 12) - h)
-           (max 1 (x_of (t + 1) - x_of t))
+           (max 1 (x_of (t0 + len) - x_of t0))
            h))
     u;
   Buffer.add_string buf

@@ -3,12 +3,16 @@
     generation, no dependencies. *)
 
 val render :
-  ?width:int -> ?row_height:int -> ?title:string -> Schedule.t -> string
+  ?width:int -> ?row_height:int -> ?validate:bool -> ?title:string ->
+  Schedule.t -> string
 (** An SVG document ([width] pixels wide, default 960; [row_height] per
     processor row, default 22). Jobs are colored by id (golden-angle hue
     rotation), labeled when wide enough; below the rows a strip shows the
-    per-step consumed utilization. Requires a valid non-preemptive schedule
-    (processor assignment must exist); raises [Failure] otherwise. *)
+    consumed utilization, one rect per step-function segment. Requires a
+    valid non-preemptive schedule (processor assignment must exist); raises
+    [Failure] otherwise. Pass [~validate:false] to skip the up-front
+    validation when the schedule was already checked; either way the render
+    is O(|steps|), independent of the makespan. *)
 
 val render_to_file : string -> Schedule.t -> unit
 (** [render_to_file path sched] with default options. *)

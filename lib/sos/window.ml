@@ -10,6 +10,13 @@ let last = function Empty -> None | Range r -> Some r.last
 let mem w i =
   match w with Empty -> false | Range r -> r.first <= i && i <= r.last
 
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Range a, Range b ->
+      a.first = b.first && a.last = b.last && a.count = b.count && a.rsum = b.rsum
+  | _ -> false
+
 let req st i = (Instance.job (State.instance st) i).Job.req
 
 let members st w =

@@ -26,6 +26,13 @@ val last : t -> int option
 val mem : t -> int -> bool
 (** Index-range membership test (valid because members are consecutive). *)
 
+val equal : t -> t -> bool
+(** O(1) structural equality of the range representation
+    ([first]/[last]/count/r-sum). Two equal windows over states with the
+    same {!State.version} have identical member lists — the cheap
+    fingerprint the step-skipping solver compares instead of materializing
+    {!members}. *)
+
 val members : State.t -> t -> int list
 (** Members in requirement order; O(|W|). *)
 

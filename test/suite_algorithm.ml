@@ -394,8 +394,14 @@ let test_utilization_profile () =
   let inst = Instance.create ~m:4 ~scale:100 [ (2, 50); (2, 50); (2, 50) ] in
   let s = Listing1.run inst in
   let u = Schedule.utilization s in
-  Alcotest.(check int) "length = makespan" s.Schedule.makespan (Array.length u);
-  Array.iter (fun x -> Alcotest.(check bool) "≤ 1" true (x <= 1.0 +. 1e-9)) u
+  Alcotest.(check int) "covers makespan" s.Schedule.makespan (Schedule.profile_length u);
+  Array.iter
+    (fun (_, _, x) -> Alcotest.(check bool) "≤ 1" true (x <= 1.0 +. 1e-9))
+    u;
+  let dense = Schedule.to_dense ~default:0.0 u in
+  Alcotest.(check int) "dense length = makespan" s.Schedule.makespan (Array.length dense);
+  let capped = Schedule.to_dense ~cap:2 ~default:0.0 u in
+  Alcotest.(check int) "cap truncates" (min 2 s.Schedule.makespan) (Array.length capped)
 
 let suite =
   ( "algorithm",

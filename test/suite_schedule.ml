@@ -135,9 +135,38 @@ let test_csv_exports () =
   let icsv = Export.instance_to_csv inst in
   Alcotest.(check int) "instance rows" 3 (List.length (String.split_on_char '\n' (String.trim icsv)));
   let ucsv = Export.utilization_to_csv sched in
+  let ulines = String.split_on_char '\n' (String.trim ucsv) in
+  Alcotest.(check string) "utilization header" "t0,len,assigned,consumed,jobs"
+    (List.hd ulines);
+  (* one row per RLE block, and the block lengths cover the makespan *)
   Alcotest.(check int) "utilization rows"
-    (sched.Schedule.makespan + 1)
-    (List.length (String.split_on_char '\n' (String.trim ucsv)));
+    (List.length sched.Schedule.steps + 1)
+    (List.length ulines);
+  let covered =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ',' line with
+        | _ :: len :: _ when len <> "len" -> acc + int_of_string len
+        | _ -> acc)
+      0 ulines
+  in
+  Alcotest.(check int) "utilization covers makespan" sched.Schedule.makespan covered;
+  let rcsv = Export.schedule_to_csv_rle sched in
+  Alcotest.(check string) "rle header" "t0,repeat,job,assigned,consumed"
+    (List.hd (String.split_on_char '\n' rcsv));
+  (* the RLE export carries the same total consumption *)
+  let rle_total =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ',' line with
+        | [ _; rep; _; _; c ] when c <> "consumed" ->
+            acc + (int_of_string rep * int_of_string c)
+        | _ -> acc)
+      0
+      (String.split_on_char '\n' (String.trim rcsv))
+  in
+  Alcotest.(check int) "rle consumption adds up" (Instance.total_requirement inst)
+    rle_total;
   let tcsv = Export.trace_to_csv trace inst in
   Alcotest.(check bool) "trace has rows" true (String.length tcsv > 60)
 
@@ -209,6 +238,134 @@ let test_expand_agreement () =
     if Export.schedule_to_csv sched <> Export.schedule_to_csv expanded then
       Alcotest.failf "seed %d: CSV differs between RLE and expanded form" seed
   done
+
+(* --- RLE-native analytics vs expand-then-compute reference --- *)
+
+(* The old implementations expanded the RLE before computing; the rewritten
+   ones fold over the blocks. These properties pin the two down to exact
+   agreement on solver outputs (which contain repeat > 1 blocks). *)
+
+let arb_instance =
+  QCheck.(
+    triple (int_range 2 6) (int_range 10 80)
+      (list_of_size
+         Gen.(int_range 1 12)
+         (pair (int_range 1 300) (int_range 1 120))))
+
+let instance_of (m, scale, specs) =
+  Instance.create ~m ~scale (List.map (fun (p, r) -> (p, min r (scale * 3 / 2))) specs)
+
+(* Reference: expand to repeat = 1 blocks and compute per step naively. *)
+let ref_per_step sched f =
+  let expanded = Schedule.expand sched in
+  Array.of_list
+    (List.map (fun (st : Schedule.step) -> f st.allocs) expanded.Schedule.steps)
+
+let qcheck_utilization_matches_reference =
+  Helpers.qcheck "utilization/jobs profiles ≡ expand-then-compute" arb_instance
+    (fun spec ->
+      let inst = instance_of spec in
+      let sched = Fast.run inst in
+      let scale = float_of_int inst.Instance.scale in
+      let dense = Schedule.to_dense ~default:0.0 (Schedule.utilization sched) in
+      let refd =
+        ref_per_step sched (fun allocs ->
+            float_of_int
+              (List.fold_left (fun acc (a : Schedule.alloc) -> acc + a.consumed) 0 allocs)
+            /. scale)
+      in
+      let densea =
+        Schedule.to_dense ~default:0.0 (Schedule.assigned_utilization sched)
+      in
+      let refa =
+        ref_per_step sched (fun allocs ->
+            float_of_int
+              (List.fold_left (fun acc (a : Schedule.alloc) -> acc + a.assigned) 0 allocs)
+            /. scale)
+      in
+      let densej = Schedule.to_dense ~default:0 (Schedule.jobs_per_step sched) in
+      let refj = ref_per_step sched List.length in
+      dense = refd && densea = refa && densej = refj)
+
+let qcheck_scalar_analytics_match_reference =
+  Helpers.qcheck "completions/waste/spans ≡ expand-then-compute" arb_instance
+    (fun spec ->
+      let inst = instance_of spec in
+      let sched = Fast.run inst in
+      let expanded = Schedule.expand sched in
+      Schedule.completion_times sched = Schedule.completion_times expanded
+      && Schedule.total_waste sched = Schedule.total_waste expanded
+      && Schedule.job_spans sched = Schedule.job_spans expanded
+      && Schedule.processor_assignment sched = Schedule.processor_assignment expanded)
+
+let qcheck_validate_verdict_agrees =
+  (* Corrupt the RLE schedule in assorted ways; the validator must return
+     the same verdict on the RLE form and on its expansion. *)
+  Helpers.qcheck ~count:100 "validate verdict ≡ on RLE and expanded forms"
+    QCheck.(pair arb_instance (int_range 0 4))
+    (fun (spec, mutation) ->
+      let inst = instance_of spec in
+      let sched = Fast.run inst in
+      let mutate_alloc (a : Schedule.alloc) =
+        match mutation with
+        | 0 -> a
+        | 1 -> { a with consumed = a.consumed + 1 }
+        | 2 -> { a with assigned = max 0 (a.assigned - 1) }
+        | 3 -> { a with consumed = max 0 (a.consumed - 1) }
+        | _ -> { a with job = a.job + 1 }
+      in
+      let mutated =
+        match sched.Schedule.steps with
+        | [] -> sched
+        | st :: rest ->
+            let st =
+              match st.Schedule.allocs with
+              | [] -> st
+              | a :: others -> { st with Schedule.allocs = mutate_alloc a :: others }
+            in
+            { sched with Schedule.steps = st :: rest }
+      in
+      let verdict s = Result.is_ok (Schedule.validate s) in
+      verdict mutated = verdict (Schedule.expand mutated))
+
+let test_huge_volume_analytics () =
+  (* pmax = 10^7: makespan is in the millions but the solver emits O(n)
+     blocks; every analytic below must run off the blocks without ever
+     materializing an O(makespan) array. *)
+  let rng = Rng.create 909090 in
+  let specs =
+    List.init 50 (fun _ -> (Rng.int_in rng 1 10_000_000, Rng.int_in rng 1 720720))
+  in
+  let inst = Instance.create ~m:8 ~scale:720720 specs in
+  let sched = Fast.run inst in
+  let blocks = List.length sched.Schedule.steps in
+  Alcotest.(check bool)
+    (Printf.sprintf "huge makespan (%d), few blocks (%d)" sched.Schedule.makespan blocks)
+    true
+    (sched.Schedule.makespan > 1_000_000 && blocks < 10_000);
+  let t0 = Sys.time () in
+  Helpers.check_valid sched;
+  let u = Schedule.utilization sched in
+  Alcotest.(check bool) "profile segments ≤ blocks" true (Array.length u <= blocks);
+  Alcotest.(check int) "profile covers makespan" sched.Schedule.makespan
+    (Schedule.profile_length u);
+  let c = Schedule.completion_times sched in
+  Alcotest.(check int) "max completion = makespan" sched.Schedule.makespan
+    (Array.fold_left max 0 c);
+  let j = Schedule.jobs_per_step sched in
+  Alcotest.(check bool) "jobs profile segments ≤ blocks" true (Array.length j <= blocks);
+  ignore (Schedule.total_waste sched);
+  ignore (Schedule.job_spans sched);
+  ignore (Schedule.processor_assignment ~validate:false sched);
+  let gantt = Schedule.render_gantt ~max_width:80 sched in
+  Alcotest.(check bool) "gantt rendered" true (String.length gantt > 80);
+  let ucsv = Export.utilization_to_csv sched in
+  Alcotest.(check bool) "utilization csv rows ≤ blocks + header" true
+    (List.length (String.split_on_char '\n' (String.trim ucsv)) <= blocks + 1);
+  let dt = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytics proportional to |steps| (%.3fs)" dt)
+    true (dt < 5.0)
 
 (* --- preemptive scheduler --- *)
 
@@ -293,6 +450,11 @@ let suite =
       Alcotest.test_case "inject: negative values" `Quick test_negative_values;
       Alcotest.test_case "csv exports" `Quick test_csv_exports;
       Alcotest.test_case "RLE expand agreement" `Quick test_expand_agreement;
+      qcheck_utilization_matches_reference;
+      qcheck_scalar_analytics_match_reference;
+      qcheck_validate_verdict_agrees;
+      Alcotest.test_case "huge-volume analytics stay RLE-native" `Quick
+        test_huge_volume_analytics;
       Alcotest.test_case "job spans" `Quick test_job_spans;
       Alcotest.test_case "completion times" `Quick test_completion_times;
       Alcotest.test_case "preemptive: valid & ≥ LB" `Quick test_preemptive_valid_and_ge_lb;
