@@ -3,6 +3,7 @@
 module Rng = Prelude.Rng
 module Table = Prelude.Table
 module Stats = Prelude.Stats
+module Clock = Prelude.Clock
 
 let base_seed = 0xCA51E
 
@@ -22,7 +23,25 @@ let ratios_summary (xs : float array) =
   let s = Stats.summarize xs in
   (s.Stats.mean, s.Stats.max)
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time_it = Clock.time_it
+
+(* Domain count for the parallel sweeps; `bench/main.exe -j N` overrides. *)
+let domains = ref (Engine.Pool.recommended_domain_count ())
+
+(* Parallel map over independent experiment cells, results in submission
+   order. Cells must be self-contained: compute only (no printing) and
+   derive all randomness from their own parameters via explicit
+   [Rng.create]/[Rng.create2] seeds — never from execution order — so the
+   tables are byte-identical at any [-j]. *)
+let par_map f xs =
+  let tasks = Array.map (fun x () -> f x) xs in
+  Engine.Batch.map ~domains:!domains tasks
+  |> Array.map (function
+       | Ok v -> v
+       | Error e ->
+           failwith
+             (Printf.sprintf "experiment cell %d failed: %s" e.Engine.Batch.index
+                e.Engine.Batch.message))
+
+(* The (a × b) cell grid flattened row-major, for sweeps over two axes. *)
+let grid xs ys = Array.of_list (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs)

@@ -5,10 +5,16 @@
    volume-scaling shapes, including the huge-volume one (p_max = 10^7)
    whose analytics would take minutes if anything expanded the RLE.
 
+   t7c is the batch-throughput section: a fixed 512-instance corpus solved
+   on the Engine pool at domains ∈ {1, 2, 4, max}, recording wall time and
+   speedup (and asserting the results are identical at every domain count —
+   the engine's determinism contract, checked on every gate run).
+
    Run: `dune exec bench/main.exe -- gate` (a few seconds). CI uploads the
    JSON as an artifact; EXPERIMENTS.md explains how to read/refresh it. *)
 
 module Table = Prelude.Table
+module Clock = Prelude.Clock
 open Exp_common
 
 (* (name, n, m, pmax, seed) — seeds match Exp_perf's T7a/T7b rows so the
@@ -25,15 +31,6 @@ let shapes =
   ]
 
 let reps = 3
-
-let best_of f =
-  let result = ref None and dt = ref infinity in
-  for _ = 1 to reps do
-    let r, t = time_it f in
-    result := Some r;
-    dt := min !dt t
-  done;
-  (Option.get !result, !dt)
 
 (* The full downstream pipeline on the solver output: everything here must
    stay proportional to |steps|, not makespan. *)
@@ -62,17 +59,83 @@ type row = {
   analytics_s : float;
 }
 
+(* Existing field names are stable for trajectory comparison across PRs;
+   [domains]/[best_of] make each row self-describing across machines (the
+   single-instance rows are always solved on 1 domain, best-of-[reps]). *)
 let json_of_row r =
   Printf.sprintf
     "  {\"name\": %S, \"n\": %d, \"m\": %d, \"pmax\": %d, \"wall_s\": %.6f, \
-     \"iters\": %d, \"steps\": %d, \"makespan\": %d, \"analytics_s\": %.6f}"
-    r.name r.n r.m r.pmax r.wall_s r.iters r.steps r.makespan r.analytics_s
+     \"iters\": %d, \"steps\": %d, \"makespan\": %d, \"analytics_s\": %.6f, \
+     \"domains\": 1, \"best_of\": %d}"
+    r.name r.n r.m r.pmax r.wall_s r.iters r.steps r.makespan r.analytics_s reps
 
-let write_json path rows =
+type t7c_row = { domains : int; wall_s : float; speedup : float }
+
+let t7c_instances = 512
+
+let json_of_t7c (r : t7c_row) =
+  Printf.sprintf
+    "  {\"name\": \"t7c-d%d\", \"section\": \"t7c\", \"domains\": %d, \
+     \"best_of\": %d, \"instances\": %d, \"wall_s\": %.6f, \"speedup\": %.3f}"
+    r.domains r.domains reps t7c_instances r.wall_s r.speedup
+
+let write_json path lines =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc "[\n";
-      Out_channel.output_string oc (String.concat ",\n" (List.map json_of_row rows));
+      Out_channel.output_string oc (String.concat ",\n" lines);
       Out_channel.output_string oc "\n]\n")
+
+(* --------------------------------------------------------- t7c corpus *)
+
+(* A fixed mixed corpus: family and size rotate with the task index, and
+   each instance's RNG is seeded by (base, index) — the engine's
+   determinism discipline, so the corpus is independent of who solves it. *)
+let t7c_corpus () =
+  let families = Array.of_list Workload.Sos_gen.all_families in
+  Array.init t7c_instances (fun i ->
+      let rng = Prelude.Rng.create2 (base_seed + 0x7C3) i in
+      let family = families.(i mod Array.length families) in
+      let n = 100 + (50 * (i mod 5)) in
+      Workload.Sos_gen.generate rng family ~n ~m:16 ())
+
+(* Makespan fingerprint of a whole batch: order-sensitive, so it also
+   catches result-reordering bugs, not just wrong makespans. *)
+let fingerprint outcomes =
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | Ok mk -> ((acc * 31) + mk) land max_int
+      | Error (e : Engine.Batch.error) -> failwith ("t7c solve failed: " ^ e.message))
+    17 outcomes
+
+let t7c () =
+  let corpus = t7c_corpus () in
+  let tasks =
+    Array.map (fun inst () -> (Sos.Fast.run inst).Sos.Schedule.makespan) corpus
+  in
+  let solve_all d = fingerprint (Engine.Batch.map ~domains:d ~chunk:4 tasks) in
+  let dmax = Engine.Pool.recommended_domain_count () in
+  let ds = List.sort_uniq compare [ 1; 2; 4; dmax ] in
+  let measured =
+    List.map (fun d -> (d, Clock.best_of ~k:reps (fun () -> solve_all d))) ds
+  in
+  let fp1 =
+    match measured with (_, (fp, _)) :: _ -> fp | [] -> assert false
+  in
+  List.iter
+    (fun (d, (fp, _)) ->
+      if fp <> fp1 then
+        failwith
+          (Printf.sprintf
+             "t7c: batch results at %d domains differ from 1 domain (determinism \
+              violation)" d))
+    measured;
+  let base_wall = match measured with (_, (_, w)) :: _ -> w | [] -> assert false in
+  List.map
+    (fun (d, (_, wall_s)) -> { domains = d; wall_s; speedup = base_wall /. wall_s })
+    measured
+
+(* ---------------------------------------------------------------- gate *)
 
 let gate () =
   section "GATE — fast solver + RLE analytics perf gate (fixed seeds)";
@@ -80,8 +143,10 @@ let gate () =
     List.map
       (fun (name, n, m, pmax, seed) ->
         let inst = Exp_perf.make_instance ~n ~m ~pmax seed in
-        let (sched, iters), wall_s = best_of (fun () -> Sos.Fast.run_count inst) in
-        let (), analytics_s = best_of (fun () -> analytics sched) in
+        let (sched, iters), wall_s =
+          Clock.best_of ~k:reps (fun () -> Sos.Fast.run_count inst)
+        in
+        let (), analytics_s = Clock.best_of ~k:reps (fun () -> analytics sched) in
         {
           name; n; m; pmax; wall_s; iters;
           steps = List.length sched.Sos.Schedule.steps;
@@ -109,8 +174,32 @@ let gate () =
         ])
     rows;
   Table.print t;
+  section
+    (Printf.sprintf
+       "GATE t7c — batch throughput: %d-instance corpus on the Engine pool \
+        (this machine recommends %d domains)"
+       t7c_instances
+       (Engine.Pool.recommended_domain_count ()));
+  let t7c_rows = t7c () in
+  let t2 =
+    Table.create
+      [ ("domains", Table.Right); ("wall", Table.Right); ("speedup", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t2
+        [
+          Table.fmt_int r.domains;
+          Printf.sprintf "%.1f ms" (r.wall_s *. 1e3);
+          Printf.sprintf "%.2fx" r.speedup;
+        ])
+    t7c_rows;
+  Table.print t2;
+  note "batch results byte-identical at every domain count: ok";
   let path = "BENCH_fast.json" in
-  write_json path rows;
-  note "wrote %s (best of %d runs per shape; analytics = validate + completions \
-        + profiles + waste + proc-assignment + gantt + csv, all RLE-native)"
-    path reps
+  write_json path (List.map json_of_row rows @ List.map json_of_t7c t7c_rows);
+  note
+    "wrote %s (best of %d runs per shape/config; analytics = validate + \
+     completions + profiles + waste + proc-assignment + gantt + csv, all \
+     RLE-native; t7c = %d instances solved on the domain pool)"
+    path reps t7c_instances

@@ -5,6 +5,7 @@
 
 module Rng = Prelude.Rng
 module Table = Prelude.Table
+module Clock = Prelude.Clock
 open Exp_common
 open Bechamel
 open Toolkit
@@ -103,10 +104,10 @@ let t7_scaling () =
   List.iter
     (fun (n, pmax) ->
       let inst = make_instance ~n ~m:8 ~pmax (7 * n * pmax) in
-      let (sched, iters), fast_time = time_it (fun () -> Sos.Fast.run_count inst) in
+      let (sched, iters), fast_time = Clock.time_it (fun () -> Sos.Fast.run_count inst) in
       let listing1_time =
         if Sos.Instance.total_volume inst <= 50_000 then begin
-          let _, dt = time_it (fun () -> Sos.Listing1.run inst) in
+          let _, dt = Clock.time_it (fun () -> Sos.Listing1.run inst) in
           Printf.sprintf "%.3f s" dt
         end
         else "skipped (pseudo-poly)"

@@ -24,38 +24,41 @@ let t4 () =
         ("serial-SPT mean", Table.Right); ("|T1|/|T2| (avg)", Table.Left);
       ]
   in
-  List.iter
-    (fun m ->
-      List.iter
-        (fun k ->
-          let ratios = ref [] and serial_ratios = ref [] in
-          let t1s = ref 0 and t2s = ref 0 in
-          for rep = 0 to reps - 1 do
-            let rng = Rng.create (base_seed + (4000 * rep) + (10 * k) + m) in
-            let inst = Workload.Sas_gen.generate rng Workload.Sas_gen.cloud_mix ~k ~m () in
-            let report = Sas.Combined.run inst in
-            ratios := Sas.Combined.ratio report :: !ratios;
-            let _, serial_sum = Sas.Serial.run report.Sas.Combined.instance in
-            serial_ratios :=
-              (float_of_int serial_sum /. float_of_int report.Sas.Combined.lower_bound)
-              :: !serial_ratios;
-            t1s := !t1s + report.Sas.Combined.t1_count;
-            t2s := !t2s + report.Sas.Combined.t2_count
-          done;
-          let mean, mx = ratios_summary (Array.of_list !ratios) in
-          let serial_mean, _ = ratios_summary (Array.of_list !serial_ratios) in
-          let bound = Sas.Bounds.guarantee ~m in
-          Table.add_row t
-            [
-              Table.fmt_int m; Table.fmt_int k; Table.fmt_ratio mean; Table.fmt_ratio mx;
-              Table.fmt_ratio bound; Table.fmt_ratio serial_mean;
-              Printf.sprintf "%.1f/%.1f"
-                (float_of_int !t1s /. float_of_int reps)
-                (float_of_int !t2s /. float_of_int reps);
-            ])
-        [ 10; 40; 160 ];
-      Table.add_sep t)
-    [ 8; 12; 16 ];
+  let ks = [ 10; 40; 160 ] in
+  let rows =
+    par_map
+      (fun (m, k) ->
+        let ratios = ref [] and serial_ratios = ref [] in
+        let t1s = ref 0 and t2s = ref 0 in
+        for rep = 0 to reps - 1 do
+          let rng = Rng.create (base_seed + (4000 * rep) + (10 * k) + m) in
+          let inst = Workload.Sas_gen.generate rng Workload.Sas_gen.cloud_mix ~k ~m () in
+          let report = Sas.Combined.run inst in
+          ratios := Sas.Combined.ratio report :: !ratios;
+          let _, serial_sum = Sas.Serial.run report.Sas.Combined.instance in
+          serial_ratios :=
+            (float_of_int serial_sum /. float_of_int report.Sas.Combined.lower_bound)
+            :: !serial_ratios;
+          t1s := !t1s + report.Sas.Combined.t1_count;
+          t2s := !t2s + report.Sas.Combined.t2_count
+        done;
+        let mean, mx = ratios_summary (Array.of_list !ratios) in
+        let serial_mean, _ = ratios_summary (Array.of_list !serial_ratios) in
+        let bound = Sas.Bounds.guarantee ~m in
+        [
+          Table.fmt_int m; Table.fmt_int k; Table.fmt_ratio mean; Table.fmt_ratio mx;
+          Table.fmt_ratio bound; Table.fmt_ratio serial_mean;
+          Printf.sprintf "%.1f/%.1f"
+            (float_of_int !t1s /. float_of_int reps)
+            (float_of_int !t2s /. float_of_int reps);
+        ])
+      (grid [ 8; 12; 16 ] ks)
+  in
+  Array.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod List.length ks = 0 then Table.add_sep t)
+    rows;
   Table.print t
 
 (* T5: the per-task completion bounds of Lemmas 4.1 and 4.2. *)

@@ -22,28 +22,31 @@ let t1 () =
         ("max ratio", Table.Right); ("bound", Table.Right); ("within", Table.Left);
       ]
   in
-  List.iter
-    (fun family ->
-      List.iter
-        (fun m ->
-          let ratios =
-            Array.init reps (fun rep ->
-                let rng = Rng.create (base_seed + (1000 * rep) + m) in
-                let inst = Workload.Sos_gen.generate rng family ~n:200 ~m () in
-                let s = Sos.Fast.run inst in
-                Sos.Bounds.theorem_3_3_bound inst ~makespan:s.Sos.Schedule.makespan)
-          in
-          let mean, mx = ratios_summary ratios in
-          let bound = Sos.Bounds.guarantee_general ~m in
-          Table.add_row t
-            [
-              family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio mean;
-              Table.fmt_ratio mx; Table.fmt_ratio bound;
-              Table.fmt_bool_ok (mx <= bound +. 1e-9);
-            ])
-        [ 4; 8; 16; 32; 64 ];
-      Table.add_sep t)
-    Workload.Sos_gen.all_families;
+  let ms = [ 4; 8; 16; 32; 64 ] in
+  let rows =
+    par_map
+      (fun (family, m) ->
+        let ratios =
+          Array.init reps (fun rep ->
+              let rng = Rng.create (base_seed + (1000 * rep) + m) in
+              let inst = Workload.Sos_gen.generate rng family ~n:200 ~m () in
+              let s = Sos.Fast.run inst in
+              Sos.Bounds.theorem_3_3_bound inst ~makespan:s.Sos.Schedule.makespan)
+        in
+        let mean, mx = ratios_summary ratios in
+        let bound = Sos.Bounds.guarantee_general ~m in
+        [
+          family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio mean;
+          Table.fmt_ratio mx; Table.fmt_ratio bound;
+          Table.fmt_bool_ok (mx <= bound +. 1e-9);
+        ])
+      (grid Workload.Sos_gen.all_families ms)
+  in
+  Array.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod List.length ms = 0 then Table.add_sep t)
+    rows;
   Table.print t
 
 (* T2: unit-size jobs — reserved-processor Listing 1 vs the m-maximal
@@ -62,49 +65,54 @@ let t2 () =
         ("bound2", Table.Right); ("within", Table.Left);
       ]
   in
-  List.iter
-    (fun base_family ->
-      let family = Workload.Sos_gen.unit_of base_family in
-      List.iter
-        (fun m ->
-          let r1 = ref [] and r2 = ref [] and r3 = ref [] in
-          let ok = ref true in
-          for rep = 0 to reps - 1 do
-            let rng = Rng.create (base_seed + (2000 * rep) + m) in
-            let inst = Workload.Sos_gen.generate rng family ~n:300 ~m () in
-            let lbi = Sos.Bounds.lower_bound inst in
-            let lb = float_of_int lbi in
-            let s1 = Sos.Fast.run inst in
-            let s2 = Sos.Splittable.run inst in
-            let s3 = Sos.Splittable.run_nonpreemptive inst in
-            (* Subtract the +1 additive term before forming the display
-               ratio; the pass/fail check uses the guarantees' own additive
-               form, makespan ≤ factor·LB + 1 (rounded up). *)
-            r1 := (float_of_int (s1.Sos.Schedule.makespan - 1) /. lb) :: !r1;
-            r2 := (float_of_int (s2.Sos.Schedule.makespan - 1) /. lb) :: !r2;
-            r3 := (float_of_int (s3.Sos.Schedule.makespan - 1) /. lb) :: !r3;
-            let within factor (s : Sos.Schedule.t) =
-              s.Sos.Schedule.makespan
-              <= int_of_float (ceil (factor *. float_of_int lbi)) + 1
-            in
-            let b1 = Sos.Bounds.guarantee_unit ~m in
-            let b2 = Sos.Bounds.guarantee_unit_modified ~m in
-            if not (within b1 s1 && within b2 s2 && within b2 s3) then ok := false
-          done;
-          let _, mx1 = ratios_summary (Array.of_list !r1) in
-          let _, mx2 = ratios_summary (Array.of_list !r2) in
-          let _, mx3 = ratios_summary (Array.of_list !r3) in
+  let ms = [ 4; 8; 16 ] in
+  let rows =
+    par_map
+      (fun (base_family, m) ->
+        let family = Workload.Sos_gen.unit_of base_family in
+        let r1 = ref [] and r2 = ref [] and r3 = ref [] in
+        let ok = ref true in
+        for rep = 0 to reps - 1 do
+          let rng = Rng.create (base_seed + (2000 * rep) + m) in
+          let inst = Workload.Sos_gen.generate rng family ~n:300 ~m () in
+          let lbi = Sos.Bounds.lower_bound inst in
+          let lb = float_of_int lbi in
+          let s1 = Sos.Fast.run inst in
+          let s2 = Sos.Splittable.run inst in
+          let s3 = Sos.Splittable.run_nonpreemptive inst in
+          (* Subtract the +1 additive term before forming the display
+             ratio; the pass/fail check uses the guarantees' own additive
+             form, makespan ≤ factor·LB + 1 (rounded up). *)
+          r1 := (float_of_int (s1.Sos.Schedule.makespan - 1) /. lb) :: !r1;
+          r2 := (float_of_int (s2.Sos.Schedule.makespan - 1) /. lb) :: !r2;
+          r3 := (float_of_int (s3.Sos.Schedule.makespan - 1) /. lb) :: !r3;
+          let within factor (s : Sos.Schedule.t) =
+            s.Sos.Schedule.makespan
+            <= int_of_float (ceil (factor *. float_of_int lbi)) + 1
+          in
           let b1 = Sos.Bounds.guarantee_unit ~m in
           let b2 = Sos.Bounds.guarantee_unit_modified ~m in
-          Table.add_row t
-            [
-              family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio mx1;
-              Table.fmt_ratio b1; Table.fmt_ratio mx2; Table.fmt_ratio mx3;
-              Table.fmt_ratio b2; Table.fmt_bool_ok !ok;
-            ])
-        [ 4; 8; 16 ];
-      Table.add_sep t)
-    [ Workload.Sos_gen.uniform_wide; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ];
+          if not (within b1 s1 && within b2 s2 && within b2 s3) then ok := false
+        done;
+        let _, mx1 = ratios_summary (Array.of_list !r1) in
+        let _, mx2 = ratios_summary (Array.of_list !r2) in
+        let _, mx3 = ratios_summary (Array.of_list !r3) in
+        let b1 = Sos.Bounds.guarantee_unit ~m in
+        let b2 = Sos.Bounds.guarantee_unit_modified ~m in
+        [
+          family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio mx1;
+          Table.fmt_ratio b1; Table.fmt_ratio mx2; Table.fmt_ratio mx3;
+          Table.fmt_ratio b2; Table.fmt_bool_ok !ok;
+        ])
+      (grid
+         [ Workload.Sos_gen.uniform_wide; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ]
+         ms)
+  in
+  Array.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod List.length ms = 0 then Table.add_sep t)
+    rows;
   Table.print t;
   note
     "non-preempt = the m-maximal modification with the started job pinned in the \
@@ -131,47 +139,49 @@ let t6 () =
   in
   let m = 8 and n = 150 in
   let scale = Workload.Sos_gen.default_scale in
-  List.iter
-    (fun scarcity ->
-      (* E[r] = scarcity/m; requirements uniform in (0, 2·E[r]]. *)
-      let hi = max 2 (int_of_float (scarcity /. float_of_int m *. 2.0 *. float_of_int scale)) in
-      let family =
-        {
-          Workload.Sos_gen.name = "sweep";
-          req = Workload.Distributions.Uniform { lo = 1; hi = min hi (2 * scale) };
-          size = Workload.Distributions.Uniform { lo = 1; hi = 20 };
-        }
-      in
-      let acc_w = ref 0.0 and acc_l = ref 0.0 and acc_g = ref 0.0 and acc_lb = ref 0.0 in
-      let acc_cw = ref 0.0 and acc_cl = ref 0.0 in
-      for rep = 0 to reps - 1 do
-        let rng = Rng.create (base_seed + (3000 * rep) + int_of_float (scarcity *. 100.)) in
-        let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
-        let sw = Sos.Fast.run inst in
-        let sl = Baselines.List_scheduling.run inst in
-        acc_w := !acc_w +. float_of_int sw.Sos.Schedule.makespan;
-        acc_l := !acc_l +. float_of_int sl.Sos.Schedule.makespan;
-        acc_cw := !acc_cw +. Sos.Schedule.mean_completion_time sw;
-        acc_cl := !acc_cl +. Sos.Schedule.mean_completion_time sl;
-        acc_g := !acc_g +. float_of_int (Baselines.Greedy_fair.run inst).Sos.Schedule.makespan;
-        acc_lb := !acc_lb +. float_of_int (Sos.Bounds.lower_bound inst)
-      done;
-      let w = !acc_w /. float_of_int reps
-      and l = !acc_l /. float_of_int reps
-      and g = !acc_g /. float_of_int reps in
-      let winner =
-        if w <= l && w <= g then "window"
-        else if l <= w && l <= g then "list-sched"
-        else "greedy-fair"
-      in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun scarcity ->
+        (* E[r] = scarcity/m; requirements uniform in (0, 2·E[r]]. *)
+        let hi = max 2 (int_of_float (scarcity /. float_of_int m *. 2.0 *. float_of_int scale)) in
+        let family =
+          {
+            Workload.Sos_gen.name = "sweep";
+            req = Workload.Distributions.Uniform { lo = 1; hi = min hi (2 * scale) };
+            size = Workload.Distributions.Uniform { lo = 1; hi = 20 };
+          }
+        in
+        let acc_w = ref 0.0 and acc_l = ref 0.0 and acc_g = ref 0.0 and acc_lb = ref 0.0 in
+        let acc_cw = ref 0.0 and acc_cl = ref 0.0 in
+        for rep = 0 to reps - 1 do
+          let rng = Rng.create (base_seed + (3000 * rep) + int_of_float (scarcity *. 100.)) in
+          let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
+          let sw = Sos.Fast.run inst in
+          let sl = Baselines.List_scheduling.run inst in
+          acc_w := !acc_w +. float_of_int sw.Sos.Schedule.makespan;
+          acc_l := !acc_l +. float_of_int sl.Sos.Schedule.makespan;
+          acc_cw := !acc_cw +. Sos.Schedule.mean_completion_time sw;
+          acc_cl := !acc_cl +. Sos.Schedule.mean_completion_time sl;
+          acc_g := !acc_g +. float_of_int (Baselines.Greedy_fair.run inst).Sos.Schedule.makespan;
+          acc_lb := !acc_lb +. float_of_int (Sos.Bounds.lower_bound inst)
+        done;
+        let w = !acc_w /. float_of_int reps
+        and l = !acc_l /. float_of_int reps
+        and g = !acc_g /. float_of_int reps in
+        let winner =
+          if w <= l && w <= g then "window"
+          else if l <= w && l <= g then "list-sched"
+          else "greedy-fair"
+        in
         [
           Printf.sprintf "%.2f" scarcity; Table.fmt_float w; Table.fmt_float l;
           Table.fmt_float g; Table.fmt_float (!acc_lb /. float_of_int reps); winner;
           Table.fmt_float (!acc_cw /. float_of_int reps);
           Table.fmt_float (!acc_cl /. float_of_int reps);
         ])
-    [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ];
+      [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 |]
+  in
+  Array.iter (Table.add_row t) rows;
   Table.print t;
   note
     "avgC = mean job completion time (flow-time view): the window algorithm's \
@@ -278,26 +288,27 @@ let e1 () =
         ("preemptive/LB", Table.Right); ("gap", Table.Right);
       ]
   in
-  List.iter
-    (fun family ->
-      List.iter
-        (fun m ->
-          let w = ref 0.0 and p = ref 0.0 in
-          for rep = 0 to reps - 1 do
-            let rng = Rng.create (base_seed + (6000 * rep) + m) in
-            let inst = Workload.Sos_gen.generate rng family ~n:120 ~m () in
-            let lb = float_of_int (Sos.Bounds.lower_bound inst) in
-            w := !w +. (float_of_int (Sos.Fast.run inst).Sos.Schedule.makespan /. lb);
-            p := !p +. (float_of_int (Sos.Preemptive.run inst).Sos.Schedule.makespan /. lb)
-          done;
-          let w = !w /. float_of_int reps and p = !p /. float_of_int reps in
-          Table.add_row t
-            [
-              family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio w;
-              Table.fmt_ratio p; Printf.sprintf "%+.1f%%" ((w /. p -. 1.0) *. 100.0);
-            ])
-        [ 4; 16 ])
-    [ Workload.Sos_gen.uniform_small; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ];
+  let rows =
+    par_map
+      (fun (family, m) ->
+        let w = ref 0.0 and p = ref 0.0 in
+        for rep = 0 to reps - 1 do
+          let rng = Rng.create (base_seed + (6000 * rep) + m) in
+          let inst = Workload.Sos_gen.generate rng family ~n:120 ~m () in
+          let lb = float_of_int (Sos.Bounds.lower_bound inst) in
+          w := !w +. (float_of_int (Sos.Fast.run inst).Sos.Schedule.makespan /. lb);
+          p := !p +. (float_of_int (Sos.Preemptive.run inst).Sos.Schedule.makespan /. lb)
+        done;
+        let w = !w /. float_of_int reps and p = !p /. float_of_int reps in
+        [
+          family.Workload.Sos_gen.name; Table.fmt_int m; Table.fmt_ratio w;
+          Table.fmt_ratio p; Printf.sprintf "%+.1f%%" ((w /. p -. 1.0) *. 100.0);
+        ])
+      (grid
+         [ Workload.Sos_gen.uniform_small; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ]
+         [ 4; 16 ])
+  in
+  Array.iter (Table.add_row t) rows;
   Table.print t
 
 (* E2: what does joint job+resource optimization buy over the predecessor
@@ -314,33 +325,32 @@ let e2 () =
         ("fixed RR", Table.Right); ("fixed LPT", Table.Right); ("LB", Table.Right);
       ]
   in
-  List.iter
-    (fun family ->
-      List.iter
-        (fun m ->
-          let acc = Array.make 4 0.0 in
-          for rep = 0 to reps - 1 do
-            let rng = Rng.create (base_seed + (7000 * rep) + m) in
-            let inst = Workload.Sos_gen.generate rng family ~n:120 ~m () in
-            let add i v = acc.(i) <- acc.(i) +. float_of_int v in
-            add 0 (Sos.Fast.run inst).Sos.Schedule.makespan;
-            add 1
-              (Baselines.Fixed_assignment.run ~strategy:Baselines.Fixed_assignment.Round_robin
-                 inst)
-                .Sos.Schedule.makespan;
-            add 2
-              (Baselines.Fixed_assignment.run ~strategy:Baselines.Fixed_assignment.By_volume
-                 inst)
-                .Sos.Schedule.makespan;
-            add 3 (Sos.Bounds.lower_bound inst)
-          done;
-          Table.add_row t
-            (family.Workload.Sos_gen.name :: Table.fmt_int m
-            :: List.map
-                 (fun i -> Table.fmt_float (acc.(i) /. float_of_int reps))
-                 [ 0; 1; 2; 3 ]))
-        [ 4; 16 ])
-    [ Workload.Sos_gen.uniform_small; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ];
+  let rows =
+    par_map
+      (fun (family, m) ->
+        let acc = Array.make 4 0.0 in
+        for rep = 0 to reps - 1 do
+          let rng = Rng.create (base_seed + (7000 * rep) + m) in
+          let inst = Workload.Sos_gen.generate rng family ~n:120 ~m () in
+          let add i v = acc.(i) <- acc.(i) +. float_of_int v in
+          add 0 (Sos.Fast.run inst).Sos.Schedule.makespan;
+          add 1
+            (Baselines.Fixed_assignment.run ~strategy:Baselines.Fixed_assignment.Round_robin
+               inst)
+              .Sos.Schedule.makespan;
+          add 2
+            (Baselines.Fixed_assignment.run ~strategy:Baselines.Fixed_assignment.By_volume
+               inst)
+              .Sos.Schedule.makespan;
+          add 3 (Sos.Bounds.lower_bound inst)
+        done;
+        family.Workload.Sos_gen.name :: Table.fmt_int m
+        :: List.map (fun i -> Table.fmt_float (acc.(i) /. float_of_int reps)) [ 0; 1; 2; 3 ])
+      (grid
+         [ Workload.Sos_gen.uniform_small; Workload.Sos_gen.bimodal; Workload.Sos_gen.heavy_tail ]
+         [ 4; 16 ])
+  in
+  Array.iter (Table.add_row t) rows;
   Table.print t
 
 (* E3: online arrivals — load sweep against the clairvoyant lower bound. *)
@@ -360,10 +370,11 @@ let e3 () =
       ]
   in
   let scale = 10_000 in
-  List.iter
-    (fun (label, load) ->
-      let ratios = ref [] and mk = ref 0.0 and lbs = ref 0.0 in
-      for rep = 0 to reps - 1 do
+  let rows =
+    par_map
+      (fun (label, load) ->
+        let ratios = ref [] and mk = ref 0.0 and lbs = ref 0.0 in
+        for rep = 0 to reps - 1 do
         let rng = Rng.create (base_seed + (9000 * rep) + int_of_float (load *. 10.0)) in
         let base =
           List.init 120 (fun _ ->
@@ -387,15 +398,18 @@ let e3 () =
         mk := !mk +. float_of_int r.Sos.Online.makespan;
         lbs := !lbs +. float_of_int lb
       done;
-      let mean, mx = ratios_summary (Array.of_list !ratios) in
-      Table.add_row t
+        let mean, mx = ratios_summary (Array.of_list !ratios) in
         [
           label; Table.fmt_ratio mean; Table.fmt_ratio mx;
           Table.fmt_float (!mk /. float_of_int reps);
           Table.fmt_float (!lbs /. float_of_int reps);
         ])
-    [ ("burst (0)", 0.0); ("heavy (0.5)", 0.5); ("critical (1.0)", 1.0);
-      ("light (2.0)", 2.0) ];
+      [|
+        ("burst (0)", 0.0); ("heavy (0.5)", 0.5); ("critical (1.0)", 1.0);
+        ("light (2.0)", 2.0);
+      |]
+  in
+  Array.iter (Table.add_row t) rows;
   Table.print t
 
 (* E4: stability — how sensitive is the makespan to misestimated
@@ -419,32 +433,34 @@ let e4 () =
   let base_l =
     float_of_int (Baselines.List_scheduling.run inst).Sos.Schedule.makespan
   in
-  List.iter
-    (fun pct ->
-      let dw = ref [] and dl = ref [] in
-      for rep = 1 to 20 do
-        let rng = Rng.create (base_seed + (100 * rep) + int_of_float (pct *. 100.0)) in
-        let specs =
-          List.init (Sos.Instance.n inst) (fun i ->
-              let j = Sos.Instance.job inst i in
-              let noise =
-                1.0 +. ((Rng.float rng 2.0 -. 1.0) *. pct)
-              in
-              let req = max 1 (int_of_float (float_of_int j.Sos.Job.req *. noise)) in
-              (j.Sos.Job.size, req))
-        in
-        let pert = Sos.Instance.create ~m:8 ~scale:inst.Sos.Instance.scale specs in
-        let w = float_of_int (Sos.Fast.run pert).Sos.Schedule.makespan in
-        let l = float_of_int (Baselines.List_scheduling.run pert).Sos.Schedule.makespan in
-        dw := Float.abs ((w /. base_w) -. 1.0) :: !dw;
-        dl := Float.abs ((l /. base_l) -. 1.0) :: !dl
-      done;
-      let mw, xw = ratios_summary (Array.of_list !dw) in
-      let ml, xl = ratios_summary (Array.of_list !dl) in
-      let pc x = Printf.sprintf "%.2f%%" (100.0 *. x) in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun pct ->
+        let dw = ref [] and dl = ref [] in
+        for rep = 1 to 20 do
+          let rng = Rng.create (base_seed + (100 * rep) + int_of_float (pct *. 100.0)) in
+          let specs =
+            List.init (Sos.Instance.n inst) (fun i ->
+                let j = Sos.Instance.job inst i in
+                let noise =
+                  1.0 +. ((Rng.float rng 2.0 -. 1.0) *. pct)
+                in
+                let req = max 1 (int_of_float (float_of_int j.Sos.Job.req *. noise)) in
+                (j.Sos.Job.size, req))
+          in
+          let pert = Sos.Instance.create ~m:8 ~scale:inst.Sos.Instance.scale specs in
+          let w = float_of_int (Sos.Fast.run pert).Sos.Schedule.makespan in
+          let l = float_of_int (Baselines.List_scheduling.run pert).Sos.Schedule.makespan in
+          dw := Float.abs ((w /. base_w) -. 1.0) :: !dw;
+          dl := Float.abs ((l /. base_l) -. 1.0) :: !dl
+        done;
+        let mw, xw = ratios_summary (Array.of_list !dw) in
+        let ml, xl = ratios_summary (Array.of_list !dl) in
+        let pc x = Printf.sprintf "%.2f%%" (100.0 *. x) in
         [ Printf.sprintf "±%.0f%%" (100.0 *. pct); pc mw; pc xw; pc ml; pc xl ])
-    [ 0.01; 0.05; 0.1; 0.25 ];
+      [| 0.01; 0.05; 0.1; 0.25 |]
+  in
+  Array.iter (Table.add_row t) rows;
   Table.print t;
   note
     "the window algorithm's makespan tracks total work (smooth in the inputs); \

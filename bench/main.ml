@@ -1,6 +1,8 @@
 (* The benchmark harness: regenerates every experiment table/figure of
    EXPERIMENTS.md. Run everything: `dune exec bench/main.exe`; a subset:
-   `dune exec bench/main.exe -- t1 t4 f1`. *)
+   `dune exec bench/main.exe -- t1 t4 f1`. `-j N` sets the domain count for
+   the parallel sweeps (default: all recommended domains); the tables are
+   byte-identical at any -j — parallelism only moves wall clock. *)
 
 let all : (string * string * (unit -> unit)) list =
   [
@@ -31,6 +33,18 @@ let all : (string * string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_j acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--domains") :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some d when d >= 1 -> Exp_common.domains := d
+        | _ ->
+            Printf.eprintf "-j expects a positive integer (got %S)\n" v;
+            exit 2);
+        strip_j acc rest
+    | a :: rest -> strip_j (a :: acc) rest
+  in
+  let args = strip_j [] args in
   let args = List.filter (fun a -> a <> "--" && a <> "--table" && a <> "--figure") args in
   let selected =
     if args = [] then all

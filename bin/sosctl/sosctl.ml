@@ -24,6 +24,22 @@ let family_of_name name =
            (String.concat ", "
               (List.map (fun f -> f.Workload.Sos_gen.name) Workload.Sos_gen.all_families)))
 
+(* One (preemptive?, schedule) dispatch for solve/analyze/batch; `-w trace`
+   in `export` keeps its own traced-run special case. *)
+let run_algo ?(check = false) algo inst =
+  match algo with
+  | `Window -> (false, Sos.Fast.run inst)
+  | `Listing1 -> (false, Sos.Listing1.run ~check inst)
+  | `Literal -> (false, Sos.Fast.run ~variant:`Literal inst)
+  | `Unit -> (true, Sos.Splittable.run inst)
+  | `Unit_np -> (false, Sos.Splittable.run_nonpreemptive inst)
+  | `List_sched -> (false, Baselines.List_scheduling.run inst)
+  | `Greedy -> (false, Baselines.Greedy_fair.run inst)
+  | `Naive -> (false, Sos.Ablation.run_naive_fracture inst)
+  | `No_move -> (false, Sos.Ablation.run_no_move inst)
+  | `Preemptive -> (true, Sos.Preemptive.run inst)
+  | `Fixed -> (false, Baselines.Fixed_assignment.run inst)
+
 (* ------------------------------------------------------------------ gen *)
 
 let gen_cmd =
@@ -69,20 +85,7 @@ let algo_conv =
 let solve_cmd =
   let run algo file gantt quiet =
     let inst = Sos.Instance.of_string (read_input file) in
-    let preemptive, sched =
-      match algo with
-      | `Window -> (false, Sos.Fast.run inst)
-      | `Listing1 -> (false, Sos.Listing1.run ~check:true inst)
-      | `Literal -> (false, Sos.Fast.run ~variant:`Literal inst)
-      | `Unit -> (true, Sos.Splittable.run inst)
-      | `Unit_np -> (false, Sos.Splittable.run_nonpreemptive inst)
-      | `List_sched -> (false, Baselines.List_scheduling.run inst)
-      | `Greedy -> (false, Baselines.Greedy_fair.run inst)
-      | `Naive -> (false, Sos.Ablation.run_naive_fracture inst)
-      | `No_move -> (false, Sos.Ablation.run_no_move inst)
-      | `Preemptive -> (true, Sos.Preemptive.run inst)
-      | `Fixed -> (false, Baselines.Fixed_assignment.run inst)
-    in
+    let preemptive, sched = run_algo ~check:true algo inst in
     (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
     | Ok () -> ()
     | Error v ->
@@ -126,20 +129,7 @@ let solve_cmd =
 let analyze_cmd =
   let run algo file =
     let inst = Sos.Instance.of_string (read_input file) in
-    let preemptive, sched =
-      match algo with
-      | `Window -> (false, Sos.Fast.run inst)
-      | `Listing1 -> (false, Sos.Listing1.run inst)
-      | `Literal -> (false, Sos.Fast.run ~variant:`Literal inst)
-      | `Unit -> (true, Sos.Splittable.run inst)
-      | `Unit_np -> (false, Sos.Splittable.run_nonpreemptive inst)
-      | `List_sched -> (false, Baselines.List_scheduling.run inst)
-      | `Greedy -> (false, Baselines.Greedy_fair.run inst)
-      | `Naive -> (false, Sos.Ablation.run_naive_fracture inst)
-      | `No_move -> (false, Sos.Ablation.run_no_move inst)
-      | `Preemptive -> (true, Sos.Preemptive.run inst)
-      | `Fixed -> (false, Baselines.Fixed_assignment.run inst)
-    in
+    let preemptive, sched = run_algo algo inst in
     (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
     | Ok () -> ()
     | Error v ->
@@ -358,6 +348,143 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export instances, schedules, traces as CSV.")
     Term.(const run $ file $ what $ algo)
 
+(* ---------------------------------------------------------------- batch *)
+
+(* Solve many instances on the Engine domain pool. Specs are newline-
+   delimited; results stream to stdout in spec order as they complete, one
+   line per instance, with no timing in the lines — so the output is
+   byte-identical at every -j (the acceptance check CI runs). Determinism
+   discipline: spec i's generator is seeded by (--seed, i), never by the
+   domain that happens to solve it. *)
+
+let batch_cmd =
+  let run file jobs seed out_dir algo =
+    if jobs < 1 then begin
+      prerr_endline "batch: -j must be >= 1";
+      2
+    end
+    else begin
+      let specs =
+        read_input file |> String.split_on_char '\n'
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "" && not (String.starts_with ~prefix:"#" l))
+        |> Array.of_list
+      in
+      (match out_dir with
+      | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+      | _ -> ());
+      let solve idx spec =
+        let label, inst =
+          if String.starts_with ~prefix:"@" spec then
+            let path = String.sub spec 1 (String.length spec - 1) in
+            (path, Sos.Instance.of_string (In_channel.with_open_text path In_channel.input_all))
+          else begin
+            let fields =
+              String.split_on_char ' ' spec |> List.filter (fun s -> s <> "")
+            in
+            match fields with
+            | family :: n :: m :: rest ->
+                let int_field what s =
+                  match int_of_string_opt s with
+                  | Some v when v >= 1 -> v
+                  | _ -> failwith (Printf.sprintf "bad %s %S in spec %S" what s spec)
+                in
+                let n = int_field "n" n and m = int_field "m" m in
+                let scale =
+                  match rest with
+                  | [] -> Workload.Sos_gen.default_scale
+                  | [ s ] -> int_field "scale" s
+                  | _ -> failwith (Printf.sprintf "trailing fields in spec %S" spec)
+                in
+                let family =
+                  match family_of_name family with
+                  | Ok f -> f
+                  | Error msg -> failwith msg
+                in
+                let rng = Prelude.Rng.create2 seed idx in
+                (family.Workload.Sos_gen.name,
+                 Workload.Sos_gen.generate rng family ~n ~m ~scale ())
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "bad spec %S (want: <family> <n> <m> [scale], or @<file>)" spec)
+          end
+        in
+        let preemptive, sched = run_algo algo inst in
+        (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
+        | Ok () -> ()
+        | Error v ->
+            failwith
+              (Printf.sprintf "invalid schedule at step %d: %s" v.Sos.Schedule.at_step
+                 v.Sos.Schedule.reason));
+        (label, inst, sched)
+      in
+      let tasks = Array.mapi (fun i spec () -> solve i spec) specs in
+      let failures = ref 0 in
+      let emit idx = function
+        | Ok (label, inst, sched) ->
+            (match out_dir with
+            | Some dir ->
+                Out_channel.with_open_text
+                  (Printf.sprintf "%s/batch-%04d.csv" dir idx)
+                  (fun oc -> Out_channel.output_string oc (Sos.Export.schedule_to_csv_rle sched))
+            | None -> ());
+            Printf.printf "%d ok %s n=%d m=%d makespan=%d lb=%d ratio=%.4f blocks=%d\n"
+              idx label (Sos.Instance.n inst) inst.Sos.Instance.m
+              sched.Sos.Schedule.makespan
+              (Sos.Bounds.lower_bound inst)
+              (Sos.Bounds.theorem_3_3_bound inst ~makespan:sched.Sos.Schedule.makespan)
+              (List.length sched.Sos.Schedule.steps);
+            flush stdout
+        | Error (e : Engine.Batch.error) ->
+            incr failures;
+            let message =
+              String.map (function '\n' | '\r' -> ' ' | c -> c) e.message
+            in
+            Printf.printf "%d error %s\n" idx message;
+            flush stdout
+      in
+      Engine.Pool.with_pool ~domains:jobs (fun pool ->
+          Engine.Batch.stream pool tasks ~f:emit);
+      if !failures > 0 then 1 else 0
+    end
+  in
+  let file =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"SPECS"
+          ~doc:
+            "Newline-delimited instance specs (file or - for stdin). Each line is \
+             $(i,FAMILY N M [SCALE]) — generated deterministically from (--seed, \
+             line index) — or $(i,@PATH), an instance file. Blank lines and # \
+             comments are skipped.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Engine.Pool.recommended_domain_count ())
+      & info [ "j"; "domains" ]
+          ~doc:
+            "Worker domains. Output is byte-identical for any value; only wall \
+             time changes.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base PRNG seed for generated specs.") in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ]
+          ~doc:"Also write each schedule as RLE CSV to $(docv)/batch-NNNN.csv."
+          ~docv:"DIR")
+  in
+  let algo = Arg.(value & opt algo_conv `Window & info [ "algo"; "a" ] ~doc:"Algorithm.") in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a stream of instances on the multicore pool (results stream in \
+          input order; deterministic at any -j).")
+    Term.(const run $ file $ jobs $ seed $ out_dir $ algo)
+
 (* ------------------------------------------------------------- hardness *)
 
 let hardness_cmd =
@@ -445,5 +572,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; solve_cmd; analyze_cmd; ratio_cmd; binpack_cmd; sas_cmd;
-            export_cmd; corpus_cmd; hardness_cmd;
+            export_cmd; corpus_cmd; hardness_cmd; batch_cmd;
           ]))

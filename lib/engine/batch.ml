@@ -1,0 +1,39 @@
+type error = { index : int; message : string }
+type 'a outcome = ('a, error) result
+
+let protect index task =
+  try Ok (task ()) with e -> Error { index; message = Printexc.to_string e }
+
+let map_pool pool ?chunk tasks =
+  let n = Array.length tasks in
+  let out = Array.make n (Error { index = -1; message = "Engine.Batch: task never ran" }) in
+  Pool.run_ordered pool ?chunk n
+    ~run:(fun i -> out.(i) <- protect i tasks.(i))
+    ~emit:ignore;
+  out
+
+let map ?domains ?chunk tasks = Pool.with_pool ?domains (fun pool -> map_pool pool ?chunk tasks)
+
+let stream pool ?chunk tasks ~f =
+  let n = Array.length tasks in
+  let slots = Array.make n None in
+  Pool.run_ordered pool ?chunk n
+    ~run:(fun i -> slots.(i) <- Some (protect i tasks.(i)))
+    ~emit:(fun i ->
+      match slots.(i) with
+      | Some r ->
+          slots.(i) <- None;
+          f i r
+      | None ->
+          (* run_ordered guarantees run i completed before emit i *)
+          assert false)
+
+let map_reduce ?domains ?chunk ~reduce ~init tasks =
+  Array.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | (Error _ as e), _ -> e
+      | Ok _, Error e -> Error e
+      | Ok a, Ok v -> Ok (reduce a v))
+    (Ok init)
+    (map ?domains ?chunk tasks)

@@ -1,0 +1,40 @@
+(** Deterministic batch maps over arrays of thunks, on a {!Pool}.
+
+    Results always come back in submission order, and a raising task turns
+    into an [Error] for its own index instead of killing the pool or the
+    batch. Combined with the per-task-index seeding contract (see
+    {!Pool}), every function here returns byte-identical results at any
+    domain count — [~domains:1] is the exact sequential path. *)
+
+type error = { index : int; message : string }
+(** [index] is the failing task's submission index; [message] is
+    [Printexc.to_string] of the exception it raised. *)
+
+type 'a outcome = ('a, error) result
+
+val map : ?domains:int -> ?chunk:int -> (unit -> 'a) array -> 'a outcome array
+(** [map ~domains ~chunk tasks] runs every thunk on a fresh pool of
+    [domains] workers (default {!Pool.recommended_domain_count}), [chunk]
+    consecutive tasks per queued unit of work (default 1), and returns the
+    outcomes in submission order. *)
+
+val map_pool : Pool.t -> ?chunk:int -> (unit -> 'a) array -> 'a outcome array
+(** [map] on an existing pool (reusable across batches — a failed task
+    leaves the pool fully usable). *)
+
+val stream :
+  Pool.t -> ?chunk:int -> (unit -> 'a) array -> f:(int -> 'a outcome -> unit) -> unit
+(** [stream pool tasks ~f] calls [f i outcome_i] on the calling thread in
+    increasing index order, as each prefix of the batch completes — early
+    results are consumed while later tasks are still running. *)
+
+val map_reduce :
+  ?domains:int ->
+  ?chunk:int ->
+  reduce:('acc -> 'a -> 'acc) ->
+  init:'acc ->
+  (unit -> 'a) array ->
+  ('acc, error) result
+(** Parallel map, then a sequential fold in submission order (so the
+    reduction is deterministic even when [reduce] is not commutative).
+    The first failing task short-circuits to its [Error]. *)

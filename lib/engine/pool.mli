@@ -1,0 +1,51 @@
+(** Fixed pool of worker domains with a bounded work queue.
+
+    On OCaml >= 5.0 this is a real [Domain.spawn] pool: [create ~domains:d]
+    spawns [d] workers that pull thunks off a [Mutex]/[Condition]-guarded
+    queue of bounded capacity (submission blocks when the queue is full, so
+    a huge batch never materializes as a huge queue). On OCaml 4.x the same
+    interface is provided by a sequential fallback that runs every task
+    inline on the calling thread.
+
+    Determinism contract: the pool never tells a task which domain runs it
+    or in which order tasks complete. Anything a task needs to vary by must
+    come from its submission index (see [run_ordered]) — callers seed RNGs
+    from [(base_seed, task_index)], e.g. {!Prelude.Rng.create2}, never from
+    domain identity, so results are byte-identical at any domain count. *)
+
+type t
+
+val recommended_domain_count : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml >= 5.0; [1] on the
+    sequential fallback. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] makes a pool of [domains] workers (default
+    {!recommended_domain_count}). [domains = 1] spawns no worker domains:
+    every [run_ordered] call on such a pool takes the exact sequential
+    path. Raises [Invalid_argument] if [domains < 1]. *)
+
+val domains : t -> int
+(** The domain count the pool was created with. *)
+
+val run_ordered :
+  t -> ?chunk:int -> int -> run:(int -> unit) -> emit:(int -> unit) -> unit
+(** [run_ordered t ~chunk n ~run ~emit] evaluates [run i] for every
+    [0 <= i < n] — on the worker domains, in chunks of [chunk] (default 1)
+    consecutive indices per queued task — and calls [emit i] on the calling
+    thread in increasing index order, as soon as [run 0 .. run i] have all
+    completed. Returns when every task has run and been emitted, so results
+    stream in submission order while later tasks are still executing.
+
+    [run] must not raise (wrap it; {!Batch} captures exceptions per task);
+    a raising [run] is swallowed so it cannot wedge the pool. [emit] runs
+    on the caller and may print / write files. Memory written by [run i]
+    is visible to [emit i] (the completion handshake synchronizes). *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join all workers. The pool must not be used
+    afterwards. Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)

@@ -1,0 +1,125 @@
+(* Domain.spawn worker pool (OCaml >= 5.0). See pool.mli; the 4.x build
+   substitutes pool_sequential.ml for this file. *)
+
+type task = unit -> unit
+
+type t = {
+  domains : int;
+  queue : task Queue.t;
+  capacity : int;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_domain_count () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping, drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    (try task () with _ -> ());
+    worker_loop t
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | None -> recommended_domain_count ()
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+  in
+  let t =
+    {
+      domains;
+      queue = Queue.create ();
+      capacity = 4 * domains;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if domains > 1 then
+    t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.domains
+
+let submit t task =
+  Mutex.lock t.lock;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.not_full t.lock
+  done;
+  Queue.push task t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let run_ordered t ?(chunk = 1) n ~run ~emit =
+  if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  if n = 0 then ()
+  else if t.workers = [] then
+    (* The exact sequential path: no queue, no synchronization. *)
+    for i = 0 to n - 1 do
+      (try run i with _ -> ());
+      emit i
+    done
+  else begin
+    let chunk = max 1 chunk in
+    let completed = Array.make n false in
+    let lock = Mutex.create () in
+    let ready = Condition.create () in
+    let mark lo hi =
+      Mutex.lock lock;
+      for i = lo to hi - 1 do
+        completed.(i) <- true
+      done;
+      Condition.broadcast ready;
+      Mutex.unlock lock
+    in
+    let rec submit_from lo =
+      if lo < n then begin
+        let hi = min n (lo + chunk) in
+        submit t (fun () ->
+            (try
+               for i = lo to hi - 1 do
+                 run i
+               done
+             with _ -> ());
+            mark lo hi);
+        submit_from hi
+      end
+    in
+    submit_from 0;
+    let next = ref 0 in
+    while !next < n do
+      Mutex.lock lock;
+      while not completed.(!next) do
+        Condition.wait ready lock
+      done;
+      Mutex.unlock lock;
+      emit !next;
+      incr next
+    done
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,32 @@
+(* Sequential fallback for OCaml < 5.0 (no Domain module): the same
+   interface as pool_multicore.ml, with every task run inline on the
+   calling thread. Because the engine's determinism contract makes the
+   parallel and sequential paths byte-identical, consumers need no
+   version-specific code. *)
+
+type t = { domains : int }
+
+let recommended_domain_count () = 1
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | None -> 1
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+  in
+  { domains }
+
+let domains t = t.domains
+
+let run_ordered _t ?chunk n ~run ~emit =
+  ignore chunk;
+  if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  for i = 0 to n - 1 do
+    (try run i with _ -> ());
+    emit i
+  done
+
+let shutdown _t = ()
+
+let with_pool ?domains f = f (create ?domains ())

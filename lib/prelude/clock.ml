@@ -1,0 +1,16 @@
+let now () = Unix.gettimeofday ()
+
+let time_it f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let best_of ~k f =
+  if k < 1 then invalid_arg "Clock.best_of: k < 1";
+  let r0, t0 = time_it f in
+  let best = ref t0 in
+  for _ = 2 to k do
+    let _, t = time_it f in
+    best := min !best t
+  done;
+  (r0, !best)

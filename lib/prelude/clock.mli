@@ -1,0 +1,18 @@
+(** Wall-clock timing helpers for the benchmark harness.
+
+    All times are wall seconds ([Unix.gettimeofday]), not CPU time: the
+    multicore engine makes the two diverge, and wall time is what the
+    throughput experiments measure. *)
+
+val now : unit -> float
+(** Current wall time in seconds. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] is [(f (), wall seconds f took)]. *)
+
+val best_of : k:int -> (unit -> 'a) -> 'a * float
+(** [best_of ~k f] runs [f] [k] times and returns the first run's result
+    with the *minimum* wall time over the [k] runs — the standard
+    noise-resistant repetition for sub-millisecond measurements (the
+    minimum estimates the undisturbed run; means absorb scheduler noise).
+    Requires [k >= 1]; [f] is assumed deterministic. *)

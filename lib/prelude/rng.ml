@@ -9,6 +9,14 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let create2 seed index =
+  (* Injective in (seed mod 2^64, index mod 2^64): mix64 is a bijection and
+     golden_gamma is odd, so distinct (base, task-index) pairs land on
+     distinct streams. Used by the batch engine to seed each task from its
+     submission index — never from domain identity or completion order. *)
+  let s = mix64 (Int64.of_int seed) in
+  { state = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int index))) }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

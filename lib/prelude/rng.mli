@@ -9,6 +9,13 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
+val create2 : int -> int -> t
+(** [create2 base index] makes a generator from a (base seed, task index)
+    pair; distinct pairs give independent streams. This is the seeding
+    discipline of the batch engine: deriving each task's randomness from
+    its submission index (never from domain identity or completion order)
+    keeps batch output byte-identical at any domain count. *)
+
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 

@@ -1,0 +1,165 @@
+(* Engine: the domain pool and deterministic batch maps. The central
+   property is the determinism contract — Batch.map returns byte-identical
+   results at every domain count — plus per-task error capture leaving the
+   pool usable. *)
+
+module Rng = Prelude.Rng
+module Pool = Engine.Pool
+module Batch = Engine.Batch
+
+(* Solve a batch of SoS instances: makespan + exported RLE CSV per
+   instance, i.e. both the solver output and the downstream artifact the
+   batch CLI writes. *)
+let solve_batch ~domains insts =
+  let tasks =
+    Array.map
+      (fun inst () ->
+        let s = Sos.Fast.run inst in
+        (s.Sos.Schedule.makespan, Sos.Export.schedule_to_csv_rle s))
+      insts
+  in
+  Batch.map ~domains tasks
+
+let outcome_to_string = function
+  | Ok (mk, csv) -> Printf.sprintf "Ok(%d,%d bytes,%d hash)" mk (String.length csv) (Hashtbl.hash csv)
+  | Error (e : Batch.error) -> Printf.sprintf "Error(%d,%s)" e.index e.message
+
+(* qcheck: random instance batches solve byte-identically at d ∈ {1,2,4}. *)
+let test_batch_deterministic =
+  Helpers.qcheck ~count:25 "Batch.map byte-identical for domains 1/2/4"
+    QCheck.(pair (int_bound 10_000) (int_range 1 8))
+    (fun (seed, batch_size) ->
+      let insts =
+        Array.init batch_size (fun i ->
+            let rng = Rng.create2 seed i in
+            Workload.Sos_gen.random_instance rng ~max_n:40 ~max_m:8 ())
+      in
+      let reference = solve_batch ~domains:1 insts in
+      List.for_all
+        (fun d ->
+          let got = solve_batch ~domains:d insts in
+          if got <> reference then
+            QCheck.Test.fail_reportf "domains=%d diverged: %s vs %s" d
+              (String.concat ";" (Array.to_list (Array.map outcome_to_string got)))
+              (String.concat ";" (Array.to_list (Array.map outcome_to_string reference)))
+          else true)
+        [ 2; 4 ])
+
+let test_error_capture_and_reuse () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let tasks =
+        [|
+          (fun () -> 10);
+          (fun () -> failwith "boom");
+          (fun () -> 30);
+        |]
+      in
+      (match Batch.map_pool pool tasks with
+      | [| Ok 10; Error e; Ok 30 |] ->
+          Alcotest.(check int) "error index" 1 e.Batch.index;
+          Alcotest.(check bool) "error message" true
+            (String.length e.Batch.message > 0)
+      | outcomes ->
+          Alcotest.failf "unexpected outcomes: %s"
+            (String.concat ";"
+               (Array.to_list
+                  (Array.map
+                     (function
+                       | Ok v -> string_of_int v
+                       | Error (e : Batch.error) -> "error@" ^ string_of_int e.index)
+                     outcomes))));
+      (* The failed task must leave the pool fully usable. *)
+      let again = Batch.map_pool pool (Array.init 20 (fun i () -> i * i)) in
+      Array.iteri
+        (fun i r -> Alcotest.(check bool) "reused pool result" true (r = Ok (i * i)))
+        again)
+
+let test_map_reduce () =
+  let tasks = Array.init 100 (fun i () -> i) in
+  (match Batch.map_reduce ~domains:3 ~reduce:( + ) ~init:0 tasks with
+  | Ok sum -> Alcotest.(check int) "sum 0..99" 4950 sum
+  | Error _ -> Alcotest.fail "unexpected error");
+  (* Non-commutative reduce: submission order is the fold order. *)
+  (match
+     Batch.map_reduce ~domains:4 ~reduce:(fun acc v -> acc ^ v) ~init:""
+       (Array.init 26 (fun i () -> String.make 1 (Char.chr (Char.code 'a' + i))))
+   with
+  | Ok s -> Alcotest.(check string) "ordered concat" "abcdefghijklmnopqrstuvwxyz" s
+  | Error _ -> Alcotest.fail "unexpected error");
+  match
+    Batch.map_reduce ~domains:2 ~reduce:( + ) ~init:0
+      [| (fun () -> 1); (fun () -> failwith "nope"); (fun () -> 2) |]
+  with
+  | Ok _ -> Alcotest.fail "expected the raising task's error"
+  | Error e -> Alcotest.(check int) "first error index" 1 e.Batch.index
+
+let test_stream_ordered () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let emitted = ref [] in
+      Batch.stream pool
+        (Array.init 50 (fun i () -> 2 * i))
+        ~f:(fun i r ->
+          (match r with
+          | Ok v -> Alcotest.(check int) "stream value" (2 * i) v
+          | Error _ -> Alcotest.fail "unexpected error");
+          emitted := i :: !emitted);
+      Alcotest.(check (list int)) "emitted in submission order"
+        (List.init 50 (fun i -> i))
+        (List.rev !emitted))
+
+let test_pool_basics () =
+  Alcotest.(check bool) "recommended >= 1" true (Pool.recommended_domain_count () >= 1);
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "domains" 3 (Pool.domains pool));
+  Alcotest.check_raises "domains = 0 rejected"
+    (Invalid_argument "Engine.Pool.create: domains = 0") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  (* Empty batches and chunked submission both work. *)
+  Alcotest.(check int) "empty batch" 0 (Array.length (Batch.map ~domains:2 [||]));
+  let chunked = Batch.map ~domains:2 ~chunk:7 (Array.init 100 (fun i () -> i + 1)) in
+  Array.iteri
+    (fun i r -> Alcotest.(check bool) "chunked result" true (r = Ok (i + 1)))
+    chunked
+
+let test_clock () =
+  let r, t = Prelude.Clock.time_it (fun () -> 42) in
+  Alcotest.(check int) "time_it result" 42 r;
+  Alcotest.(check bool) "time_it non-negative" true (t >= 0.0);
+  let calls = ref 0 in
+  let r, t =
+    Prelude.Clock.best_of ~k:5 (fun () ->
+        incr calls;
+        !calls * 0 + 7)
+  in
+  Alcotest.(check int) "best_of result (first run)" 7 r;
+  Alcotest.(check int) "best_of runs k times" 5 !calls;
+  Alcotest.(check bool) "best_of non-negative" true (t >= 0.0);
+  Alcotest.check_raises "best_of k=0 rejected" (Invalid_argument "Clock.best_of: k < 1")
+    (fun () -> ignore (Prelude.Clock.best_of ~k:0 (fun () -> ())))
+
+let test_rng_create2 () =
+  (* create2 is pure in its pair: same pair, same stream; nearby pairs differ. *)
+  let a = Rng.create2 1 2 and b = Rng.create2 1 2 in
+  Alcotest.(check bool) "same pair, same stream" true (Rng.bits64 a = Rng.bits64 b);
+  let seen = Hashtbl.create 64 in
+  for base = 0 to 7 do
+    for idx = 0 to 7 do
+      let v = Rng.bits64 (Rng.create2 base idx) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d) collides" base idx)
+        false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ()
+    done
+  done
+
+let suite =
+  ( "engine",
+    [
+      test_batch_deterministic;
+      Alcotest.test_case "error capture leaves pool usable" `Quick test_error_capture_and_reuse;
+      Alcotest.test_case "map_reduce ordered fold" `Quick test_map_reduce;
+      Alcotest.test_case "stream emits in order" `Quick test_stream_ordered;
+      Alcotest.test_case "pool basics" `Quick test_pool_basics;
+      Alcotest.test_case "clock time_it/best_of" `Quick test_clock;
+      Alcotest.test_case "rng create2" `Quick test_rng_create2;
+    ] )

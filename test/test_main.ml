@@ -15,4 +15,5 @@ let () =
       Suite_online.suite;
       Suite_corpus.suite;
       Suite_scale.suite;
+      Suite_engine.suite;
     ]
