@@ -135,6 +135,129 @@ let t7c () =
     (fun (d, (_, wall_s)) -> { domains = d; wall_s; speedup = base_wall /. wall_s })
     measured
 
+(* ------------------------------------------------------------- obs row *)
+
+(* Telemetry overhead gate (doc/OBSERVABILITY.md). Two measurements on the
+   t7a-n200 solver row:
+
+   - [vs_prev_pct] — the disabled-sink check: this build (instrumentation
+     compiled in, sinks off, the default) against the wall_s recorded in
+     the previous BENCH_fast.json. If GATE_MAX_REGRESSION_PCT is set (CI
+     sets 2 on the 5.1 leg) the gate fails when the regression exceeds it.
+     Cross-run wall clock is noisy; best-of-[reps] minima keep this stable
+     on an otherwise idle machine.
+   - [counters_overhead_pct] — same shape with counters recording, an
+     upper bound on what --metrics costs.
+
+   The snapshot section re-solves the 512-instance t7c corpus with
+   counters on at 1 and 2 domains, asserts the deterministic snapshot is
+   byte-identical (the tentpole's core promise), and writes it to
+   BENCH_metrics.json (a CI artifact). *)
+
+let obs_shape_name = "t7a-n200"
+
+(* Previous wall_s for [name] in the committed BENCH_fast.json: each row is
+   one line, so a line-based scan is enough — no JSON parser needed. *)
+let prev_wall path name =
+  if not (Sys.file_exists path) then None
+  else begin
+    let contents = In_channel.with_open_text path In_channel.input_all in
+    let needle = Printf.sprintf "\"name\": %S" name in
+    let field = "\"wall_s\": " in
+    String.split_on_char '\n' contents
+    |> List.find_map (fun line ->
+           let contains s =
+             let n = String.length s and l = String.length line in
+             let rec go i = i + n <= l && (String.sub line i n = s || go (i + 1)) in
+             go 0
+           in
+           let index_after s =
+             let n = String.length s and l = String.length line in
+             let rec go i = if i + n > l then None
+               else if String.sub line i n = s then Some (i + n) else go (i + 1)
+             in
+             go 0
+           in
+           if not (contains needle) then None
+           else
+             match index_after field with
+             | None -> None
+             | Some start ->
+                 let stop = ref start in
+                 while !stop < String.length line && line.[!stop] <> ',' && line.[!stop] <> '}' do
+                   incr stop
+                 done;
+                 float_of_string_opt (String.sub line start (!stop - start)))
+  end
+
+type obs_row = {
+  wall_disabled_s : float;
+  wall_counters_s : float;
+  counters_overhead_pct : float;
+  vs_prev_pct : float option;
+}
+
+let json_of_obs r =
+  Printf.sprintf
+    "  {\"name\": \"obs-%s\", \"section\": \"obs\", \"best_of\": %d, \
+     \"wall_disabled_s\": %.6f, \"wall_counters_s\": %.6f, \
+     \"counters_overhead_pct\": %.2f, \"vs_prev_pct\": %s}"
+    obs_shape_name reps r.wall_disabled_s r.wall_counters_s r.counters_overhead_pct
+    (match r.vs_prev_pct with Some p -> Printf.sprintf "%.2f" p | None -> "null")
+
+let obs_overhead rows =
+  let row = List.find (fun r -> r.name = obs_shape_name) rows in
+  let prev = prev_wall "BENCH_fast.json" obs_shape_name in
+  let inst = Exp_perf.make_instance ~n:row.n ~m:row.m ~pmax:row.pmax (3 * row.n) in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let _, wall_counters_s = Clock.best_of ~k:reps (fun () -> Sos.Fast.run_count inst) in
+  Obs.Metrics.disable ();
+  let pct a b = (a -. b) /. b *. 100.0 in
+  {
+    wall_disabled_s = row.wall_s;
+    wall_counters_s;
+    counters_overhead_pct = pct wall_counters_s row.wall_s;
+    vs_prev_pct = Option.map (pct row.wall_s) prev;
+  }
+
+let check_regression r =
+  match (Sys.getenv_opt "GATE_MAX_REGRESSION_PCT", r.vs_prev_pct) with
+  | Some threshold, Some pct ->
+      let threshold = float_of_string threshold in
+      if pct > threshold then
+        failwith
+          (Printf.sprintf
+             "gate: disabled-sink solver wall time on %s regressed %.2f%% vs the \
+              previous BENCH_fast.json (threshold %.2f%%)"
+             obs_shape_name pct threshold)
+  | _ -> ()
+
+let metrics_snapshot_path = "BENCH_metrics.json"
+
+let obs_snapshot () =
+  let corpus = t7c_corpus () in
+  let tasks =
+    Array.map (fun inst () -> (Sos.Fast.run inst).Sos.Schedule.makespan) corpus
+  in
+  Obs.Metrics.enable ();
+  let snap d =
+    Obs.Metrics.reset ();
+    ignore (Engine.Batch.map ~domains:d ~chunk:4 tasks);
+    Obs.Metrics.snapshot ~cls:`Deterministic ()
+  in
+  let s1 = snap 1 in
+  let s2 = snap 2 in
+  if s1 <> s2 then
+    failwith "gate: deterministic counter snapshot differs between -j 1 and -j 2";
+  (* The last (-j 2) run's full snapshot, runtime metrics included, is the
+     artifact; its deterministic section equals the -j 1 one just checked. *)
+  let json = Obs.Metrics.snapshot_json ~cls:`All () in
+  Obs.Metrics.disable ();
+  Out_channel.with_open_text metrics_snapshot_path (fun oc ->
+      Out_channel.output_string oc json);
+  s1
+
 (* ---------------------------------------------------------------- gate *)
 
 let gate () =
@@ -196,8 +319,29 @@ let gate () =
     t7c_rows;
   Table.print t2;
   note "batch results byte-identical at every domain count: ok";
+  section "GATE obs — telemetry overhead + deterministic snapshot";
+  let obs_row = obs_overhead rows in
+  note "solver %s: disabled sinks %.2f ms, counters on %.2f ms (%+.2f%%)"
+    obs_shape_name
+    (obs_row.wall_disabled_s *. 1e3)
+    (obs_row.wall_counters_s *. 1e3)
+    obs_row.counters_overhead_pct;
+  (match obs_row.vs_prev_pct with
+  | Some pct ->
+      note "disabled-sink wall vs previous BENCH_fast.json: %+.2f%%" pct
+  | None -> note "no previous BENCH_fast.json row to regress against");
+  let det_snapshot = obs_snapshot () in
+  note
+    "deterministic counter snapshot of the %d-instance corpus byte-identical at \
+     -j 1 and -j 2 (%d counters): ok; wrote %s"
+    t7c_instances
+    (List.length (String.split_on_char '\n' (String.trim det_snapshot)))
+    metrics_snapshot_path;
+  check_regression obs_row;
   let path = "BENCH_fast.json" in
-  write_json path (List.map json_of_row rows @ List.map json_of_t7c t7c_rows);
+  write_json path
+    (List.map json_of_row rows @ List.map json_of_t7c t7c_rows
+    @ [ json_of_obs obs_row ]);
   note
     "wrote %s (best of %d runs per shape/config; analytics = validate + \
      completions + profiles + waste + proc-assignment + gantt + csv, all \

@@ -10,6 +10,67 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
+(* A batch spec failure, carrying its "line N: ..." message. The printer
+   makes [Printexc.to_string] (what the batch engine stores in its error
+   outcome) return the bare message, so batch error lines stay clean. *)
+exception Spec_error of string
+
+let () =
+  Printexc.register_printer (function Spec_error m -> Some m | _ -> None)
+
+(* ------------------------------------------------------- observability *)
+
+(* Shared --metrics[=PATH] / --trace=PATH flags (doc/OBSERVABILITY.md).
+   [with_obs] enables the requested sinks, runs the subcommand, then dumps:
+   metrics go to stderr by default (stdout stays byte-identical — the batch
+   determinism contract) or to PATH (JSON when PATH ends in .json, text
+   otherwise); the trace is always a Chrome trace-event JSON file. *)
+
+let obs_flags =
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Record telemetry counters/timers during the run and dump a snapshot: \
+             to stderr ($(b,--metrics) alone), or to $(docv) (JSON if it ends in \
+             .json, text otherwise).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Record wall-clock spans and write a Chrome trace-event JSON timeline \
+             to $(docv) (open in chrome://tracing or ui.perfetto.dev).")
+  in
+  Term.(const (fun metrics trace -> (metrics, trace)) $ metrics $ trace)
+
+let with_obs (metrics, trace) run =
+  if metrics <> None then Obs.Metrics.enable ();
+  if trace <> None then begin
+    Obs.Trace.start ();
+    Obs.Trace.set_thread_name ~tid:0 "main"
+  end;
+  let code = run () in
+  (match trace with
+  | Some path ->
+      Obs.Trace.stop ();
+      Obs.Trace.write path
+  | None -> ());
+  (match metrics with
+  | Some "-" -> prerr_string (Obs.Metrics.snapshot ())
+  | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then Obs.Metrics.snapshot_json ()
+        else Obs.Metrics.snapshot ()
+      in
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc body)
+  | None -> ());
+  code
+
 let family_of_name name =
   match
     List.find_opt
@@ -83,10 +144,16 @@ let algo_conv =
     ]
 
 let solve_cmd =
-  let run algo file gantt quiet =
+  let run obs algo file gantt quiet =
+    with_obs obs @@ fun () ->
     let inst = Sos.Instance.of_string (read_input file) in
-    let preemptive, sched = run_algo ~check:true algo inst in
-    (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
+    let preemptive, sched =
+      Obs.Trace.with_span ~cat:"cli" "solve" (fun () -> run_algo ~check:true algo inst)
+    in
+    (match
+       Obs.Trace.with_span ~cat:"cli" "validate" (fun () ->
+           Sos.Schedule.validate ~preemption_ok:preemptive sched)
+     with
     | Ok () -> ()
     | Error v ->
         Printf.eprintf "INVALID schedule at step %d: %s\n" v.Sos.Schedule.at_step
@@ -122,15 +189,21 @@ let solve_cmd =
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Summary only.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an SoS instance and validate the schedule.")
-    Term.(const run $ algo $ file $ gantt $ quiet)
+    Term.(const run $ obs_flags $ algo $ file $ gantt $ quiet)
 
 (* -------------------------------------------------------------- analyze *)
 
 let analyze_cmd =
-  let run algo file =
+  let run obs algo file =
+    with_obs obs @@ fun () ->
     let inst = Sos.Instance.of_string (read_input file) in
-    let preemptive, sched = run_algo algo inst in
-    (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
+    let preemptive, sched =
+      Obs.Trace.with_span ~cat:"cli" "solve" (fun () -> run_algo algo inst)
+    in
+    (match
+       Obs.Trace.with_span ~cat:"cli" "validate" (fun () ->
+           Sos.Schedule.validate ~preemption_ok:preemptive sched)
+     with
     | Ok () -> ()
     | Error v ->
         Printf.eprintf "INVALID schedule at step %d: %s\n" v.Sos.Schedule.at_step
@@ -138,7 +211,7 @@ let analyze_cmd =
         exit 3);
     (* Everything below reads the RLE blocks / step-function profiles:
        safe on huge-volume instances whose makespan is in the millions. *)
-    let u = Sos.Schedule.utilization sched in
+    let u = Obs.Trace.with_span ~cat:"cli" "analytics" (fun () -> Sos.Schedule.utilization sched) in
     let seg_stats (p : float Sos.Schedule.profile) =
       Array.fold_left
         (fun (peak, sum) (_, len, v) -> (max peak v, sum +. (float_of_int len *. v)))
@@ -175,12 +248,13 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Solve and report RLE-native analytics (strongly polynomial: safe for \
              huge processing volumes).")
-    Term.(const run $ algo $ file)
+    Term.(const run $ obs_flags $ algo $ file)
 
 (* ---------------------------------------------------------------- ratio *)
 
 let ratio_cmd =
-  let run family n m reps seed =
+  let run obs family n m reps seed =
+    with_obs obs @@ fun () ->
     match family_of_name family with
     | Error msg ->
         prerr_endline msg;
@@ -208,12 +282,13 @@ let ratio_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
   Cmd.v
     (Cmd.info "ratio" ~doc:"Quick approximation-ratio experiment on a workload family.")
-    Term.(const run $ family $ n $ m $ reps $ seed)
+    Term.(const run $ obs_flags $ family $ n $ m $ reps $ seed)
 
 (* -------------------------------------------------------------- binpack *)
 
 let binpack_cmd =
-  let run k capacity sizes show optimal =
+  let run obs k capacity sizes show optimal =
+    with_obs obs @@ fun () ->
     let sizes = List.map int_of_string (String.split_on_char ',' sizes) in
     let inst = Binpack.Packing.instance ~k ~capacity sizes in
     let packing = Binpack.Algorithms.window inst in
@@ -254,12 +329,13 @@ let binpack_cmd =
   Cmd.v
     (Cmd.info "binpack"
        ~doc:"Pack splittable items under a cardinality constraint (Corollary 3.9).")
-    Term.(const run $ k $ capacity $ sizes $ show $ optimal)
+    Term.(const run $ obs_flags $ k $ capacity $ sizes $ show $ optimal)
 
 (* ------------------------------------------------------------------ sas *)
 
 let sas_cmd =
-  let run profile k m seed =
+  let run obs profile k m seed =
+    with_obs obs @@ fun () ->
     let profile =
       List.find_opt
         (fun p -> p.Workload.Sas_gen.name = profile)
@@ -293,7 +369,7 @@ let sas_cmd =
   Cmd.v
     (Cmd.info "sas"
        ~doc:"Schedule a task set for average completion time (Theorem 4.8).")
-    Term.(const run $ profile $ k $ m $ seed)
+    Term.(const run $ obs_flags $ profile $ k $ m $ seed)
 
 (* --------------------------------------------------------------- export *)
 
@@ -358,16 +434,19 @@ let export_cmd =
    domain that happens to solve it. *)
 
 let batch_cmd =
-  let run file jobs seed out_dir algo =
+  let run obs file jobs seed out_dir algo =
+    with_obs obs @@ fun () ->
     if jobs < 1 then begin
       prerr_endline "batch: -j must be >= 1";
       2
     end
     else begin
+      (* Keep each spec's 1-based line number in the input, so a failure
+         deep inside a long @PATH spec file is locatable. *)
       let specs =
         read_input file |> String.split_on_char '\n'
-        |> List.map String.trim
-        |> List.filter (fun l -> l <> "" && not (String.starts_with ~prefix:"#" l))
+        |> List.mapi (fun i l -> (i + 1, String.trim l))
+        |> List.filter (fun (_, l) -> l <> "" && not (String.starts_with ~prefix:"#" l))
         |> Array.of_list
       in
       (match out_dir with
@@ -419,7 +498,20 @@ let batch_cmd =
                  v.Sos.Schedule.reason));
         (label, inst, sched)
       in
-      let tasks = Array.mapi (fun i spec () -> solve i spec) specs in
+      let tasks =
+        Array.mapi
+          (fun i (line, spec) () ->
+            try solve i spec
+            with e ->
+              (* Prefix every per-spec failure with the spec's input line
+                 number; Batch.protect stringifies whatever reaches it, and
+                 Spec_error's registered printer keeps the line bare. *)
+              let msg =
+                match e with Failure m -> m | e -> Printexc.to_string e
+              in
+              raise (Spec_error (Printf.sprintf "line %d: %s" line msg)))
+          specs
+      in
       let failures = ref 0 in
       let emit idx = function
         | Ok (label, inst, sched) ->
@@ -444,8 +536,11 @@ let batch_cmd =
             Printf.printf "%d error %s\n" idx message;
             flush stdout
       in
-      Engine.Pool.with_pool ~domains:jobs (fun pool ->
-          Engine.Batch.stream pool tasks ~f:emit);
+      Obs.Trace.with_span ~cat:"cli" "batch"
+        ~args:[ ("specs", Obs.Trace.I (Array.length specs)); ("domains", Obs.Trace.I jobs) ]
+        (fun () ->
+          Engine.Pool.with_pool ~domains:jobs (fun pool ->
+              Engine.Batch.stream pool tasks ~f:emit));
       if !failures > 0 then 1 else 0
     end
   in
@@ -483,7 +578,7 @@ let batch_cmd =
        ~doc:
          "Solve a stream of instances on the multicore pool (results stream in \
           input order; deterministic at any -j).")
-    Term.(const run $ file $ jobs $ seed $ out_dir $ algo)
+    Term.(const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo)
 
 (* ------------------------------------------------------------- hardness *)
 

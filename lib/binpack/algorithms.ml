@@ -1,3 +1,10 @@
+(* Entry-point telemetry for the Corollary 3.9 window packer
+   (doc/OBSERVABILITY.md). *)
+let c_runs = Obs.Metrics.counter "binpack.window.runs"
+let c_items = Obs.Metrics.counter "binpack.window.items"
+let c_bins = Obs.Metrics.counter "binpack.window.bins"
+let t_pack = Obs.Metrics.timer "binpack.window.pack"
+
 let next_fit_order order inst =
   let items = Array.mapi (fun i s -> (i, s)) inst.Packing.sizes in
   let items = Array.to_list items in
@@ -74,11 +81,16 @@ let first_fit inst = first_fit_order `Input inst
 let first_fit_decreasing inst = first_fit_order `Decreasing inst
 
 let window inst =
+  Obs.Metrics.time t_pack @@ fun () ->
+  Obs.Metrics.incr c_runs;
+  Obs.Metrics.add c_items (Array.length inst.Packing.sizes);
   let items =
     Array.to_list
       (Array.mapi (fun i s -> { Sos.Splittable.id = i; size = s }) inst.Packing.sizes)
   in
-  Sos.Splittable.pack items ~size:inst.Packing.k ~budget:inst.Packing.capacity
+  let packing = Sos.Splittable.pack items ~size:inst.Packing.k ~budget:inst.Packing.capacity in
+  Obs.Metrics.add c_bins (List.length packing);
+  packing
 
 let of_unit_schedule (sched : Sos.Schedule.t) =
   (* Schedules address jobs by their sorted position; packings address the

@@ -1,8 +1,17 @@
 type error = { index : int; message : string }
 type 'a outcome = ('a, error) result
 
+(* Both deterministic: which tasks run and which of them raise depends
+   only on the batch, never on the domain count. *)
+let c_tasks = Obs.Metrics.counter "engine.batch.tasks"
+let c_errors = Obs.Metrics.counter "engine.batch.errors"
+
 let protect index task =
-  try Ok (task ()) with e -> Error { index; message = Printexc.to_string e }
+  Obs.Metrics.incr c_tasks;
+  try Ok (task ())
+  with e ->
+    Obs.Metrics.incr c_errors;
+    Error { index; message = Printexc.to_string e }
 
 let map_pool pool ?chunk tasks =
   let n = Array.length tasks in

@@ -14,9 +14,21 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* Telemetry (doc/OBSERVABILITY.md). [engine.pool.tasks] counts run-indices
+   executed — the same total at any domain count, so it is deterministic;
+   queue depth, queue latency, and per-domain task counts depend on
+   scheduling and are runtime-class. *)
+let c_tasks = Obs.Metrics.counter "engine.pool.tasks"
+let g_queue_hwm = Obs.Metrics.runtime_counter "engine.pool.queue_hwm"
+let t_queue_wait = Obs.Metrics.timer "engine.pool.queue_wait"
+
+let domain_counter w = Obs.Metrics.runtime_counter (Printf.sprintf "engine.pool.d%d.tasks" w)
+
 let recommended_domain_count () = Domain.recommended_domain_count ()
 
-let rec worker_loop t =
+(* [w] is the worker's index, used as the Chrome trace track id (tid w+1;
+   the caller thread is track 0) and for the per-domain runtime counter. *)
+let rec worker_loop t w dc =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stop do
     Condition.wait t.not_empty t.lock
@@ -26,8 +38,13 @@ let rec worker_loop t =
     let task = Queue.pop t.queue in
     Condition.signal t.not_full;
     Mutex.unlock t.lock;
-    (try task () with _ -> ());
-    worker_loop t
+    Obs.Metrics.incr dc;
+    (try
+       if Obs.Trace.active () then
+         Obs.Trace.with_span ~tid:(w + 1) ~cat:"pool" "pool.task" task
+       else task ()
+     with _ -> ());
+    worker_loop t w dc
   end
 
 let create ?domains () =
@@ -50,17 +67,35 @@ let create ?domains () =
     }
   in
   if domains > 1 then
-    t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <-
+      List.init domains (fun w ->
+          Domain.spawn (fun () ->
+              if Obs.Trace.active () then
+                Obs.Trace.set_thread_name ~tid:(w + 1) (Printf.sprintf "domain-%d" w);
+              worker_loop t w (domain_counter w)));
   t
 
 let domains t = t.domains
 
 let submit t task =
+  (* Stamp the enqueue time only when someone is listening: the timer
+     records how long the task sat in the bounded queue before a worker
+     picked it up. *)
+  let task =
+    if Obs.Metrics.enabled () then begin
+      let enqueued = Prelude.Clock.now () in
+      fun () ->
+        Obs.Metrics.observe t_queue_wait (Prelude.Clock.now () -. enqueued);
+        task ()
+    end
+    else task
+  in
   Mutex.lock t.lock;
   while Queue.length t.queue >= t.capacity do
     Condition.wait t.not_full t.lock
   done;
   Queue.push task t.queue;
+  Obs.Metrics.record_max g_queue_hwm (Queue.length t.queue);
   Condition.signal t.not_empty;
   Mutex.unlock t.lock
 
@@ -70,6 +105,7 @@ let run_ordered t ?(chunk = 1) n ~run ~emit =
   else if t.workers = [] then
     (* The exact sequential path: no queue, no synchronization. *)
     for i = 0 to n - 1 do
+      Obs.Metrics.incr c_tasks;
       (try run i with _ -> ());
       emit i
     done
@@ -92,6 +128,7 @@ let run_ordered t ?(chunk = 1) n ~run ~emit =
         submit t (fun () ->
             (try
                for i = lo to hi - 1 do
+                 Obs.Metrics.incr c_tasks;
                  run i
                done
              with _ -> ());

@@ -6,6 +6,10 @@
 
 type t = { domains : int }
 
+(* Same deterministic counter as the multicore pool: run-indices executed
+   (the runtime-class queue metrics have no sequential analogue). *)
+let c_tasks = Obs.Metrics.counter "engine.pool.tasks"
+
 let recommended_domain_count () = 1
 
 let create ?domains () =
@@ -23,6 +27,7 @@ let run_ordered _t ?chunk n ~run ~emit =
   ignore chunk;
   if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
   for i = 0 to n - 1 do
+    Obs.Metrics.incr c_tasks;
     (try run i with _ -> ());
     emit i
   done

@@ -1,0 +1,186 @@
+(* The registry is guarded by a tiny spinlock built on Atomic so the
+   library stays dependency-free on both OCaml 4.14 (no stdlib Mutex
+   without -thread) and 5.x (real domains). Registration happens at module
+   init or pool construction — contention is nil — and the hot-path
+   operations (incr/add/observe) touch only their own metric's atomics. *)
+
+type kind = Det | Runtime
+
+type counter = { c_name : string; c_kind : kind; cell : int Atomic.t }
+
+type timer = {
+  t_name : string;
+  t_lock : bool Atomic.t;
+  mutable samples : float array;
+  mutable len : int;
+}
+
+type entry = Counter of counter | Timer of timer
+
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let acquire l = while not (Atomic.compare_and_set l false true) do () done
+let release l = Atomic.set l false
+
+let reg_lock = Atomic.make false
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register name mk =
+  acquire reg_lock;
+  let e =
+    match Hashtbl.find_opt registry name with
+    | Some e -> e
+    | None ->
+        let e = mk () in
+        Hashtbl.replace registry name e;
+        e
+  in
+  release reg_lock;
+  e
+
+let counter_of_kind kind name =
+  match register name (fun () -> Counter { c_name = name; c_kind = kind; cell = Atomic.make 0 }) with
+  | Counter c when c.c_kind = kind -> c
+  | Counter _ ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S already registered with another class" name)
+  | Timer _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a timer" name)
+
+let counter name = counter_of_kind Det name
+let runtime_counter name = counter_of_kind Runtime name
+
+let incr c = if Atomic.get on then Atomic.incr c.cell
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n)
+
+let record_max c v =
+  if Atomic.get on then begin
+    let rec go () =
+      let cur = Atomic.get c.cell in
+      if v > cur && not (Atomic.compare_and_set c.cell cur v) then go ()
+    in
+    go ()
+  end
+
+let value c = Atomic.get c.cell
+
+let get name =
+  acquire reg_lock;
+  let e = Hashtbl.find_opt registry name in
+  release reg_lock;
+  match e with
+  | Some (Counter c) -> Atomic.get c.cell
+  | Some (Timer _) ->
+      invalid_arg (Printf.sprintf "Obs.Metrics.get: %S is a timer" name)
+  | None -> invalid_arg (Printf.sprintf "Obs.Metrics.get: unknown counter %S" name)
+
+let timer name =
+  match
+    register name (fun () ->
+        Timer { t_name = name; t_lock = Atomic.make false; samples = Array.make 64 0.0; len = 0 })
+  with
+  | Timer t -> t
+  | Counter _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a counter" name)
+
+let observe t dt =
+  if Atomic.get on then begin
+    acquire t.t_lock;
+    if t.len = Array.length t.samples then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.samples 0 bigger 0 t.len;
+      t.samples <- bigger
+    end;
+    t.samples.(t.len) <- dt;
+    t.len <- t.len + 1;
+    release t.t_lock
+  end
+
+let time t f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Prelude.Clock.now () in
+    Fun.protect ~finally:(fun () -> observe t (Prelude.Clock.now () -. t0)) f
+  end
+
+let reset () =
+  acquire reg_lock;
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | Counter c -> Atomic.set c.cell 0
+      | Timer t ->
+          acquire t.t_lock;
+          t.len <- 0;
+          release t.t_lock)
+    registry;
+  release reg_lock
+
+(* ------------------------------------------------------------ snapshots *)
+
+type snapshot_class = [ `Deterministic | `Runtime | `All ]
+
+(* A consistent view: entries sorted by name, timer samples copied out
+   under their locks so a concurrent observe can't tear the percentiles. *)
+let collect cls =
+  acquire reg_lock;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) registry [] in
+  release reg_lock;
+  let wanted = function
+    | Counter { c_kind = Det; _ } -> cls = `Deterministic || cls = `All
+    | Counter { c_kind = Runtime; _ } | Timer _ -> cls = `Runtime || cls = `All
+  in
+  let name = function Counter c -> c.c_name | Timer t -> t.t_name in
+  entries
+  |> List.filter wanted
+  |> List.sort (fun a b -> compare (name a) (name b))
+  |> List.map (function
+       | Counter c -> `C (c.c_name, Atomic.get c.cell)
+       | Timer t ->
+           acquire t.t_lock;
+           let xs = Array.sub t.samples 0 t.len in
+           release t.t_lock;
+           `T (t.t_name, xs))
+
+let timer_stats xs =
+  let n = Array.length xs in
+  if n = 0 then (0, 0.0, 0.0, 0.0)
+  else
+    ( n,
+      Prelude.Stats.percentile xs 0.5,
+      Prelude.Stats.percentile xs 0.95,
+      Array.fold_left max neg_infinity xs )
+
+let snapshot ?(cls = `All) () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (function
+      | `C (name, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+      | `T (name, xs) ->
+          let n, p50, p95, mx = timer_stats xs in
+          Buffer.add_string buf
+            (Printf.sprintf "%s count=%d p50=%.3fms p95=%.3fms max=%.3fms\n" name n
+               (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3)))
+    (collect cls);
+  Buffer.contents buf
+
+let snapshot_json ?(cls = `All) () =
+  let counters, timers =
+    List.partition_map
+      (function `C (n, v) -> Left (n, v) | `T (n, xs) -> Right (n, xs))
+      (collect cls)
+  in
+  let counter_json (n, v) = Printf.sprintf "    {\"name\": %S, \"value\": %d}" n v in
+  let timer_json (name, xs) =
+    let n, p50, p95, mx = timer_stats xs in
+    Printf.sprintf
+      "    {\"name\": %S, \"count\": %d, \"p50_ms\": %.6f, \"p95_ms\": %.6f, \
+       \"max_ms\": %.6f}"
+      name n (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3)
+  in
+  Printf.sprintf "{\n  \"counters\": [\n%s\n  ],\n  \"timers\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map counter_json counters))
+    (String.concat ",\n" (List.map timer_json timers))

@@ -1,0 +1,99 @@
+(** Process-wide metric registry: counters, gauges, and wall-clock timers.
+
+    Everything is disabled by default. A disabled metric operation is one
+    atomic flag load and a branch — cheap enough to leave in the solver's
+    hot loops — and the no-op sink is therefore the default sink. {!enable}
+    turns recording on (the CLI's [--metrics] flag, the bench gate, and the
+    tests do this); snapshots are rendered on demand as text or JSON.
+
+    {b Determinism classes.} Every metric belongs to one of two classes:
+
+    - {e deterministic} counters ({!counter}) count algorithmic events —
+      window slides, skip hits, solved tasks — whose totals depend only on
+      the work done, never on wall clock, domain count, or scheduling
+      order. Increments are atomic and commutative, so the
+      [`Deterministic] snapshot of a fixed workload is byte-identical at
+      any [-j] (a property the test suite and the bench gate assert).
+    - {e runtime} metrics ({!runtime_counter}, high-water marks via
+      {!record_max}, and all {!timer}s) measure the execution itself —
+      queue depths, per-domain task counts, latencies. They are excluded
+      from the [`Deterministic] snapshot and carry no reproducibility
+      promise.
+
+    Registration is idempotent: registering an existing name returns the
+    existing metric (the kind must match). Registry names are dotted paths,
+    lower-case, e.g. ["sos.fast.window_slides"]; doc/OBSERVABILITY.md is
+    the registry of names used by this repository. *)
+
+(** {1 Recording switch} *)
+
+val enable : unit -> unit
+(** Start recording. Affects all metrics in the process. *)
+
+val disable : unit -> unit
+(** Stop recording (the default state). Values are retained until
+    {!reset}. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter and drop every timer's samples. Registrations are
+    kept (a deterministic snapshot after [reset] lists the same names,
+    all zero). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or look up) a {e deterministic} counter. Raises
+    [Invalid_argument] if the name is registered with a different kind. *)
+
+val runtime_counter : string -> counter
+(** Register (or look up) a {e runtime}-class counter: same operations,
+    excluded from the deterministic snapshot. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** High-water mark: raise the counter to [v] if [v] is larger (atomic).
+    Only meaningful on runtime counters (a high-water mark over concurrent
+    execution is inherently schedule-dependent). *)
+
+val value : counter -> int
+(** Current value, readable whether or not recording is enabled. *)
+
+val get : string -> int
+(** Value of a registered counter by name; [Invalid_argument] if the name
+    is unknown or not a counter. Test convenience. *)
+
+(** {1 Timers}
+
+    Wall-clock histograms ([Prelude.Clock] seconds). Always runtime
+    class. *)
+
+type timer
+
+val timer : string -> timer
+
+val observe : timer -> float -> unit
+(** Record one duration, in seconds. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall duration (also on exception). When
+    recording is disabled this is just the call. *)
+
+(** {1 Snapshots} *)
+
+type snapshot_class = [ `Deterministic | `Runtime | `All ]
+
+val snapshot : ?cls:snapshot_class -> unit -> string
+(** Plain-text snapshot, one metric per line, sorted by name:
+    [name value] for counters, [name count=N p50=…ms p95=…ms max=…ms] for
+    timers. Default class [`All]. With [`Deterministic] the output is a
+    pure function of the recorded algorithmic events. *)
+
+val snapshot_json : ?cls:snapshot_class -> unit -> string
+(** The same data as JSON: [{"counters": [...], "timers": [...]}], sorted
+    by name. *)

@@ -1,0 +1,140 @@
+(* Event buffer under the same Atomic spinlock discipline as Metrics:
+   multiple domains append concurrently (the pool's workers), export runs
+   on the main thread after the work is done. *)
+
+type arg = S of string | I of int | F of float
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char; (* 'X' complete, 'i' instant, 'C' counter, 'M' metadata *)
+  ts : float; (* µs since start *)
+  dur : float; (* µs; only for 'X' *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+let on = Atomic.make false
+let active () = Atomic.get on
+
+let lock = Atomic.make false
+let acquire () = while not (Atomic.compare_and_set lock false true) do () done
+let release () = Atomic.set lock false
+
+let epoch = ref 0.0
+let events : event list ref = ref [] (* newest first *)
+
+let reset () =
+  acquire ();
+  events := [];
+  release ()
+
+let start () =
+  reset ();
+  epoch := Prelude.Clock.now ();
+  Atomic.set on true
+
+let stop () = Atomic.set on false
+
+let now_us () = (Prelude.Clock.now () -. !epoch) *. 1e6
+
+let push e =
+  acquire ();
+  events := e :: !events;
+  release ()
+
+let with_span ?(tid = 0) ?(cat = "app") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        push { name; cat; ph = 'X'; ts = t0; dur = now_us () -. t0; tid; args })
+      f
+  end
+
+let instant ?(tid = 0) ?(cat = "app") ?(args = []) name =
+  if Atomic.get on then
+    push { name; cat; ph = 'i'; ts = now_us (); dur = 0.0; tid; args }
+
+let counter_sample ?(tid = 0) name series =
+  if Atomic.get on then
+    push
+      {
+        name;
+        cat = "counter";
+        ph = 'C';
+        ts = now_us ();
+        dur = 0.0;
+        tid;
+        args = List.map (fun (k, v) -> (k, F v)) series;
+      }
+
+let set_thread_name ~tid name =
+  if Atomic.get on then
+    push
+      {
+        name = "thread_name";
+        cat = "__metadata";
+        ph = 'M';
+        ts = 0.0;
+        dur = 0.0;
+        tid;
+        args = [ ("name", S name) ];
+      }
+
+(* ------------------------------------------------------------- export *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | S s -> Printf.sprintf "\"%s\"" (escape s)
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.6f" f
+
+let event_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+       (escape e.name) (escape e.cat) e.ph e.tid e.ts);
+  if e.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" e.dur);
+  if e.args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)))
+      e.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let export () =
+  acquire ();
+  let evs = List.rev !events in
+  release ();
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json e))
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (export ()))

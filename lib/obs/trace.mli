@@ -1,0 +1,51 @@
+(** Chrome [trace_event] recorder: span timelines loadable in
+    [chrome://tracing] / Perfetto.
+
+    Disabled by default; {!start} turns recording on (one atomic flag, so
+    an inactive {!with_span} is just the call). Events carry wall-clock
+    timestamps in microseconds relative to {!start} and a caller-chosen
+    integer [tid] that Chrome renders as one horizontal track — the engine
+    pool passes its worker-domain index so a batch shows one lane per
+    domain. Timestamps are wall clock: traces are diagnostics, never part
+    of any determinism contract.
+
+    {!export} renders the standard JSON object format
+    [{"traceEvents": [...]}]; every event is a complete ("ph":"X"),
+    instant ("i"), counter ("C"), or metadata ("M") record. *)
+
+val start : unit -> unit
+(** Clear the buffer, set the epoch, start recording. *)
+
+val stop : unit -> unit
+(** Stop recording; the buffer is kept for {!export}. *)
+
+val active : unit -> bool
+
+val reset : unit -> unit
+(** Drop all buffered events (does not change the active flag). *)
+
+type arg = S of string | I of int | F of float
+(** Argument values attached to an event ([args] in the trace format). *)
+
+val with_span :
+  ?tid:int -> ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk as a named span on track [tid] (default 0); the complete
+    event is recorded when the thunk returns {e or raises}. Category
+    defaults to ["app"]. *)
+
+val instant : ?tid:int -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** A zero-duration marker. *)
+
+val counter_sample : ?tid:int -> string -> (string * float) list -> unit
+(** A "C" counter event: Chrome plots each series as a stacked area chart
+    over time. *)
+
+val set_thread_name : tid:int -> string -> unit
+(** Metadata naming a track, e.g. ["domain-3"]. *)
+
+val export : unit -> string
+(** The buffered events as a Chrome trace JSON object. Valid whether or
+    not recording is still active; the buffer is not cleared. *)
+
+val write : string -> unit
+(** [write path] saves {!export} to [path]. *)

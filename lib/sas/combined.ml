@@ -1,3 +1,10 @@
+(* Entry-point telemetry for the Theorem 4.8 combined scheduler
+   (doc/OBSERVABILITY.md). *)
+let c_runs = Obs.Metrics.counter "sas.combined.runs"
+let c_t1 = Obs.Metrics.counter "sas.combined.t1_tasks"
+let c_t2 = Obs.Metrics.counter "sas.combined.t2_tasks"
+let t_run = Obs.Metrics.timer "sas.combined.run"
+
 type report = {
   instance : Sas_instance.t;
   completions : int array;
@@ -21,9 +28,13 @@ let run_listing3 ~m ~budget tasks = Stream.run ~m ~budget (sort_for_listing3 tas
 let run_listing4 ~m ~budget tasks = Stream.run ~m ~budget (sort_for_listing4 tasks)
 
 let run raw =
+  Obs.Metrics.time t_run @@ fun () ->
+  Obs.Metrics.incr c_runs;
   let inst = Sas_instance.normalize_scale raw in
   let m = inst.Sas_instance.m and scale = inst.Sas_instance.scale in
   let t1, t2 = Sas_instance.partition inst in
+  Obs.Metrics.add c_t1 (List.length t1);
+  Obs.Metrics.add c_t2 (List.length t2);
   let m1 = m / 2 in
   let m2 = m - m1 in
   let budget1 = (m1 - 1) * scale / (m - 1) in

@@ -1,5 +1,10 @@
 type case = Case_full | Case_partial
 
+(* Per-step case mix and extra-job count (doc/OBSERVABILITY.md). *)
+let c_case_full = Obs.Metrics.counter "sos.assign.case_full"
+let c_case_partial = Obs.Metrics.counter "sos.assign.case_partial"
+let c_extra = Obs.Metrics.counter "sos.assign.extra_allocs"
+
 type outcome = {
   allocs : Schedule.alloc list;
   window : Window.t;
@@ -91,6 +96,7 @@ let compute ?scratch st w ~budget ~extra =
         in
         spent := !spent + a.Schedule.assigned;
         push sc a);
+    Obs.Metrics.incr c_case_full;
     { allocs = list_of sc; window = w; case = Case_full; extra = None }
   end
   else begin
@@ -104,9 +110,11 @@ let compute ?scratch st w ~budget ~extra =
         push sc (if Some j = iota then alloc st j iota_amount else alloc st j (req st j)));
     let leftover = budget - r_rest - iota_amount in
     let extra_job = if extra && leftover > 0 then Window.right_neighbor st w else None in
+    Obs.Metrics.incr c_case_partial;
     match extra_job with
     | Some x ->
         push sc (alloc st x (min leftover (req st x)));
+        Obs.Metrics.incr c_extra;
         {
           allocs = list_of sc;
           window = Window.add_right st w;

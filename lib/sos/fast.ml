@@ -1,3 +1,33 @@
+(* Deterministic counters over the solver's internal structure plus one
+   wall-clock histogram; all disabled by default (doc/OBSERVABILITY.md).
+   The unit counters reconcile exactly with Schedule analytics on the
+   produced schedule: consumed = Σ s_j, assigned − consumed = total_waste,
+   iterations + skipped_steps = makespan (tested in suite_obs). *)
+let c_runs = Obs.Metrics.counter "sos.fast.runs"
+let c_iters = Obs.Metrics.counter "sos.fast.iterations"
+let c_blocks = Obs.Metrics.counter "sos.fast.blocks"
+let c_skip_hits = Obs.Metrics.counter "sos.fast.skip_hits"
+let c_skipped = Obs.Metrics.counter "sos.fast.skipped_steps"
+let c_makespan = Obs.Metrics.counter "sos.fast.makespan_steps"
+let c_assigned = Obs.Metrics.counter "sos.fast.assigned_units"
+let c_consumed = Obs.Metrics.counter "sos.fast.consumed_units"
+let c_waste = Obs.Metrics.counter "sos.fast.waste_units"
+let t_run = Obs.Metrics.timer "sos.fast.run"
+
+(* Resource accounting for one emitted RLE block ([repeat] identical
+   steps): fold the allocations once, scale by the repeat count. *)
+let record_block allocs repeat =
+  let a = ref 0 and c = ref 0 in
+  List.iter
+    (fun (x : Schedule.alloc) ->
+      a := !a + x.assigned;
+      c := !c + x.consumed)
+    allocs;
+  Obs.Metrics.incr c_blocks;
+  Obs.Metrics.add c_assigned (repeat * !a);
+  Obs.Metrics.add c_consumed (repeat * !c);
+  Obs.Metrics.add c_waste (repeat * (!a - !c))
+
 (* Single-walk structural equality with early exit; only consulted after
    the O(1) (version, window) fingerprint check passes, so the lists are
    the same ≤ m members and usually equal. *)
@@ -54,6 +84,8 @@ let skip_length st (outcome : Assign.outcome) w =
   end
 
 let run_count ?(variant = `Fixed) inst =
+  Obs.Metrics.time t_run @@ fun () ->
+  Obs.Metrics.incr c_runs;
   let st = State.create inst in
   let size = inst.Instance.m - 1 in
   let budget = inst.Instance.scale in
@@ -64,6 +96,7 @@ let run_count ?(variant = `Fixed) inst =
   let scratch = Assign.make_scratch () in
   while not (State.all_finished st) do
     incr iters;
+    Obs.Metrics.incr c_iters;
     (* Backstop against a skip-logic regression: between two completions the
        loop simulates O(1) steps plus at most one q-event, so iterations are
        O(n); anything near this generous budget is a bug, not workload. *)
@@ -94,10 +127,16 @@ let run_count ?(variant = `Fixed) inst =
         outcome.Assign.allocs;
       State.advance st extra_reps;
       steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 + extra_reps } :: !steps;
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr c_skip_hits;
+        Obs.Metrics.add c_skipped extra_reps;
+        record_block outcome.Assign.allocs (1 + extra_reps)
+      end;
       prev := None
     end
     else begin
       steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 } :: !steps;
+      if Obs.Metrics.enabled () then record_block outcome.Assign.allocs 1;
       prev :=
         if finished_jobs = [] then Some (outcome.Assign.allocs, w, State.version st)
         else None
@@ -107,6 +146,7 @@ let run_count ?(variant = `Fixed) inst =
     carried := survivors;
     ()
   done;
+  Obs.Metrics.add c_makespan (State.now st);
   (Schedule.make inst (List.rev !steps), !iters)
 
 let run ?variant inst = fst (run_count ?variant inst)

@@ -1,5 +1,12 @@
 type t = Empty | Range of { first : int; last : int; count : int; rsum : int }
 
+(* Registered under the sos.fast.* prefix because the step-skipping solver
+   is the only hot caller; the traced reference (Listing1) shares them.
+   Disabled-by-default: each increment is a flag load + branch
+   (doc/OBSERVABILITY.md). *)
+let c_slides = Obs.Metrics.counter "sos.fast.window_slides"
+let c_refills = Obs.Metrics.counter "sos.fast.window_refills"
+
 let empty = Empty
 let is_empty = function Empty -> true | Range _ -> false
 let count = function Empty -> 0 | Range r -> r.count
@@ -90,8 +97,10 @@ let drop_left st w =
 
 let grow_left st w ~size ~budget =
   let rec loop w =
-    if count w < size && left_neighbor st w <> None && rsum w < budget then
+    if count w < size && left_neighbor st w <> None && rsum w < budget then begin
+      Obs.Metrics.incr c_refills;
       loop (add_left st w)
+    end
     else w
   in
   loop w
@@ -105,7 +114,9 @@ let grow_left_fixed st w ~size ~budget =
   let rec loop w =
     if count w < size then begin
       match left_neighbor st w with
-      | Some j when b_preserved w j -> loop (add_left st w)
+      | Some j when b_preserved w j ->
+          Obs.Metrics.incr c_refills;
+          loop (add_left st w)
       | _ -> w
     end
     else w
@@ -114,8 +125,10 @@ let grow_left_fixed st w ~size ~budget =
 
 let grow_right st w ~size ~budget =
   let rec loop w =
-    if rsum w < budget && right_neighbor st w <> None && count w < size then
+    if rsum w < budget && right_neighbor st w <> None && count w < size then begin
+      Obs.Metrics.incr c_refills;
       loop (add_right st w)
+    end
     else w
   in
   loop w
@@ -125,8 +138,10 @@ let move_right st w ~budget =
     match first w with Some j -> not (State.started st j) | None -> false
   in
   let rec loop w =
-    if rsum w < budget && right_neighbor st w <> None && unstarted_min w then
+    if rsum w < budget && right_neighbor st w <> None && unstarted_min w then begin
+      Obs.Metrics.incr c_slides;
       loop (drop_left st (add_right st w))
+    end
     else w
   in
   loop w

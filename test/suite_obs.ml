@@ -1,0 +1,397 @@
+(* Tests for the telemetry layer (lib/obs): counter/timer mechanics, the
+   determinism-class split in snapshots, trace export well-formedness, the
+   reconciliation of the solver's unit counters with Schedule analytics,
+   and the batch-level determinism contract (deterministic snapshot
+   byte-identical at any -j). *)
+
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Rng = Prelude.Rng
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Record inside [f] with fresh values; recording is switched off again
+   afterwards (the suite must not leave the process-wide flag on). *)
+let with_recording f =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () -> Metrics.disable ()) f
+
+(* A tiny JSON validity checker — values, objects, arrays, strings with
+   escapes, numbers, true/false/null — enough to assert the snapshot and
+   trace exporters emit well-formed JSON without a json dependency. *)
+let json_is_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then advance () else fail () in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let keyword w =
+    String.iter (fun c -> if peek () = Some c then advance () else fail ()) w
+  in
+  let digits () =
+    let d = ref 0 in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+          incr d;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if !d = 0 then fail ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail ()
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail ()
+              done;
+              go ()
+          | _ -> fail ())
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> keyword "true"
+    | Some 'f' -> keyword "false"
+    | Some 'n' -> keyword "null"
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elems ()
+        | Some ']' -> advance ()
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let test_json_checker_sanity () =
+  List.iter
+    (fun (expected, s) ->
+      Alcotest.(check bool) (Printf.sprintf "json %S" s) expected (json_is_valid s))
+    [
+      (true, "{}");
+      (true, "{\"a\": [1, -2.5e3, \"x\\n\", true, null]}");
+      (true, "[\n\n  ]");
+      (false, "{\"a\": }");
+      (false, "[1, 2");
+      (false, "{\"a\": 1} trailing");
+      (false, "\"unterminated");
+    ]
+
+let test_counter_basics () =
+  let c = Metrics.counter "test.obs.basic" in
+  Metrics.disable ();
+  Metrics.reset ();
+  Metrics.incr c;
+  Metrics.add c 5;
+  Alcotest.(check int) "disabled ops are no-ops" 0 (Metrics.value c);
+  with_recording (fun () ->
+      Metrics.incr c;
+      Metrics.add c 41;
+      Alcotest.(check int) "incr/add accumulate" 42 (Metrics.value c);
+      Alcotest.(check int) "get by name" 42 (Metrics.get "test.obs.basic"));
+  Alcotest.(check int) "value retained after disable" 42 (Metrics.value c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, keeps registration" 0
+    (Metrics.get "test.obs.basic");
+  Alcotest.(check bool) "registration idempotent" true
+    (Metrics.counter "test.obs.basic" == c)
+
+let test_registry_errors () =
+  ignore (Metrics.counter "test.obs.det");
+  ignore (Metrics.timer "test.obs.t");
+  Alcotest.check_raises "counter re-registered as runtime"
+    (Invalid_argument
+       "Obs.Metrics: \"test.obs.det\" already registered with another class")
+    (fun () -> ignore (Metrics.runtime_counter "test.obs.det"));
+  Alcotest.check_raises "counter re-registered as timer"
+    (Invalid_argument "Obs.Metrics: \"test.obs.det\" already registered as a counter")
+    (fun () -> ignore (Metrics.timer "test.obs.det"));
+  Alcotest.check_raises "timer re-registered as counter"
+    (Invalid_argument "Obs.Metrics: \"test.obs.t\" already registered as a timer")
+    (fun () -> ignore (Metrics.counter "test.obs.t"));
+  Alcotest.check_raises "get unknown name"
+    (Invalid_argument "Obs.Metrics.get: unknown counter \"test.obs.nope\"")
+    (fun () -> ignore (Metrics.get "test.obs.nope"));
+  Alcotest.check_raises "get on a timer"
+    (Invalid_argument "Obs.Metrics.get: \"test.obs.t\" is a timer") (fun () ->
+      ignore (Metrics.get "test.obs.t"))
+
+let test_record_max () =
+  let g = Metrics.runtime_counter "test.obs.hwm" in
+  with_recording (fun () ->
+      Metrics.record_max g 7;
+      Metrics.record_max g 3;
+      Metrics.record_max g 11;
+      Alcotest.(check int) "high-water mark keeps the max" 11 (Metrics.value g))
+
+let test_timer () =
+  let t = Metrics.timer "test.obs.timer" in
+  Metrics.reset ();
+  Metrics.disable ();
+  Alcotest.(check int) "disabled time is just the call" 9
+    (Metrics.time t (fun () -> 9));
+  with_recording (fun () ->
+      Metrics.observe t 0.002;
+      Metrics.observe t 0.004;
+      (try Metrics.time t (fun () -> failwith "boom") with Failure _ -> ());
+      let snap = Metrics.snapshot ~cls:`Runtime () in
+      Alcotest.(check bool) "exception still observed (count=3)" true
+        (contains snap "test.obs.timer count=3"))
+
+let test_snapshot_classes () =
+  let c = Metrics.counter "test.obs.cls_det" in
+  let g = Metrics.runtime_counter "test.obs.cls_rt" in
+  let t = Metrics.timer "test.obs.cls_timer" in
+  with_recording (fun () ->
+      Metrics.add c 3;
+      Metrics.add g 9;
+      Metrics.observe t 0.001);
+  let det = Metrics.snapshot ~cls:`Deterministic () in
+  let rt = Metrics.snapshot ~cls:`Runtime () in
+  let all = Metrics.snapshot () in
+  Alcotest.(check bool) "det counter line" true (contains det "test.obs.cls_det 3\n");
+  Alcotest.(check bool) "runtime counter excluded from det" false
+    (contains det "cls_rt");
+  Alcotest.(check bool) "timer excluded from det" false (contains det "cls_timer");
+  Alcotest.(check bool) "runtime has the gauge" true
+    (contains rt "test.obs.cls_rt 9\n");
+  Alcotest.(check bool) "runtime has the timer" true
+    (contains rt "test.obs.cls_timer count=1");
+  Alcotest.(check bool) "runtime excludes det counters" false (contains rt "cls_det");
+  Alcotest.(check bool) "all has every class" true
+    (contains all "cls_det" && contains all "cls_rt" && contains all "cls_timer");
+  let names =
+    String.split_on_char '\n' all
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l -> List.hd (String.split_on_char ' ' l))
+  in
+  Alcotest.(check bool) "snapshot sorted by name" true
+    (List.sort compare names = names)
+
+let test_snapshot_json () =
+  let c = Metrics.counter "test.obs.json" in
+  with_recording (fun () -> Metrics.add c 17);
+  let js = Metrics.snapshot_json () in
+  Alcotest.(check bool) "snapshot_json well-formed" true (json_is_valid js);
+  Alcotest.(check bool) "counter serialized" true
+    (contains js "{\"name\": \"test.obs.json\", \"value\": 17}");
+  Alcotest.(check bool) "deterministic snapshot_json well-formed" true
+    (json_is_valid (Metrics.snapshot_json ~cls:`Deterministic ()))
+
+let test_trace_export () =
+  Trace.start ();
+  Fun.protect ~finally:(fun () -> Trace.stop ()) (fun () ->
+      Trace.set_thread_name ~tid:3 "domain-3";
+      let r =
+        Trace.with_span ~tid:3 ~cat:"test"
+          ~args:[ ("n", Trace.I 7); ("tag", Trace.S "x\"y\n"); ("f", Trace.F 0.5) ]
+          "unit.span"
+          (fun () -> 12)
+      in
+      Alcotest.(check int) "with_span returns the thunk's value" 12 r;
+      (try
+         Trace.with_span "raising.span" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Trace.instant "marker";
+      Trace.counter_sample "queue" [ ("depth", 2.0) ]);
+  let js = Trace.export () in
+  Alcotest.(check bool) "trace export well-formed JSON" true (json_is_valid js);
+  Alcotest.(check bool) "has the traceEvents key" true (contains js "\"traceEvents\"");
+  Alcotest.(check bool) "complete event recorded" true
+    (contains js "\"name\":\"unit.span\"" && contains js "\"ph\":\"X\"");
+  Alcotest.(check bool) "span on its track" true (contains js "\"tid\":3");
+  Alcotest.(check bool) "raising span still closed" true
+    (contains js "\"name\":\"raising.span\"");
+  Alcotest.(check bool) "instant event recorded" true (contains js "\"ph\":\"i\"");
+  Alcotest.(check bool) "counter event recorded" true (contains js "\"ph\":\"C\"");
+  Alcotest.(check bool) "thread name metadata" true
+    (contains js "\"thread_name\"" && contains js "\"name\":\"domain-3\"");
+  Alcotest.(check bool) "string arg escaped" true (contains js "x\\\"y\\n");
+  Trace.reset ();
+  let empty = Trace.export () in
+  Alcotest.(check bool) "reset drops events" false (contains empty "unit.span");
+  Alcotest.(check bool) "empty export still well-formed" true (json_is_valid empty);
+  Alcotest.(check int) "inactive with_span is just the call" 5
+    (Trace.with_span "ignored" (fun () -> 5))
+
+(* ------------------------------------------------- counter reconciliation *)
+
+(* Solve [inst] with counters on and check that the solver's unit counters
+   agree exactly with the Schedule analytics of the very schedule it
+   produced — the counters are an independent account of the same events. *)
+let reconcile_checks inst =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () -> Metrics.disable ()) @@ fun () ->
+  let sched, iters = Sos.Fast.run_count inst in
+  let get = Metrics.get in
+  Alcotest.(check int) "one run recorded" 1 (get "sos.fast.runs");
+  Alcotest.(check int) "iterations counter = simulated loop count" iters
+    (get "sos.fast.iterations");
+  Alcotest.(check int) "iterations + skipped_steps = makespan_steps"
+    (get "sos.fast.makespan_steps")
+    (get "sos.fast.iterations" + get "sos.fast.skipped_steps");
+  Alcotest.(check int) "makespan_steps = schedule makespan"
+    sched.Sos.Schedule.makespan
+    (get "sos.fast.makespan_steps");
+  Alcotest.(check int) "blocks = RLE steps emitted"
+    (List.length sched.Sos.Schedule.steps)
+    (get "sos.fast.blocks");
+  Alcotest.(check int) "consumed_units = Σ s_j"
+    (Sos.Instance.total_requirement inst)
+    (get "sos.fast.consumed_units");
+  Alcotest.(check int) "waste_units = Schedule.total_waste"
+    (Sos.Schedule.total_waste sched)
+    (get "sos.fast.waste_units");
+  Alcotest.(check int) "assigned − consumed = waste"
+    (get "sos.fast.waste_units")
+    (get "sos.fast.assigned_units" - get "sos.fast.consumed_units")
+
+let test_reconcile_pinned () =
+  reconcile_checks
+    (Sos.Instance.create ~m:3 ~scale:12
+       [ (4, 5); (3, 7); (6, 2); (2, 12); (5, 9) ])
+
+let test_reconcile_random () =
+  for seed = 1 to 40 do
+    let rng = Rng.create (seed * 104729) in
+    let inst = Workload.Sos_gen.random_instance rng ~max_n:12 ~max_size:8 () in
+    try reconcile_checks inst
+    with e ->
+      Alcotest.failf "seed %d: %s\ninstance:\n%s" seed (Printexc.to_string e)
+        (Sos.Instance.to_string inst)
+  done
+
+(* --------------------------------------------- batch snapshot determinism *)
+
+(* Solve the same 64-instance corpus on [domains] workers and return the
+   deterministic counter snapshot. Instances derive from (seed, index) via
+   the engine's own seeding discipline, so the work — and therefore every
+   deterministic counter — is identical at any domain count. *)
+let det_snapshot_of_batch ~domains seed =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () -> Metrics.disable ()) @@ fun () ->
+  let tasks =
+    Array.init 64 (fun i () ->
+        let rng = Rng.create2 seed i in
+        let inst = Workload.Sos_gen.random_instance rng ~max_n:8 ~max_m:4 ~max_size:5 () in
+        (Sos.Fast.run inst).Sos.Schedule.makespan)
+  in
+  Array.iter
+    (function
+      | Ok _ -> ()
+      | Error (e : Engine.Batch.error) ->
+          Alcotest.failf "task %d failed: %s" e.index e.message)
+    (Engine.Batch.map ~domains ~chunk:4 tasks);
+  Metrics.snapshot ~cls:`Deterministic ()
+
+let qcheck_batch_snapshot_deterministic =
+  Helpers.qcheck ~count:4
+    "64-task batch: deterministic snapshot byte-identical at -j 1/2/4"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let s1 = det_snapshot_of_batch ~domains:1 seed in
+      let s2 = det_snapshot_of_batch ~domains:2 seed in
+      let s4 = det_snapshot_of_batch ~domains:4 seed in
+      String.length s1 > 0 && s1 = s2 && s2 = s4)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "json checker sanity" `Quick test_json_checker_sanity;
+      Alcotest.test_case "counter basics" `Quick test_counter_basics;
+      Alcotest.test_case "registry errors" `Quick test_registry_errors;
+      Alcotest.test_case "record_max" `Quick test_record_max;
+      Alcotest.test_case "timer" `Quick test_timer;
+      Alcotest.test_case "snapshot classes" `Quick test_snapshot_classes;
+      Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
+      Alcotest.test_case "trace export" `Quick test_trace_export;
+      Alcotest.test_case "solver counters reconcile (pinned)" `Quick
+        test_reconcile_pinned;
+      Alcotest.test_case "solver counters reconcile (random)" `Quick
+        test_reconcile_random;
+      qcheck_batch_snapshot_deterministic;
+    ] )

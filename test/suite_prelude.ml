@@ -90,6 +90,18 @@ let test_stats_summary_order () =
   Alcotest.(check (float 0.0)) "p50" 5.0 s.Stats.p50;
   Alcotest.(check int) "count" 5 s.Stats.count
 
+let test_clock_best_of_guard () =
+  (* best_of must reject non-positive repetition counts loudly — a k ≤ 0
+     would silently return garbage timings otherwise. *)
+  Alcotest.check_raises "k = 0 rejected" (Invalid_argument "Clock.best_of: k < 1")
+    (fun () -> ignore (Prelude.Clock.best_of ~k:0 (fun () -> ())));
+  Alcotest.check_raises "negative k rejected"
+    (Invalid_argument "Clock.best_of: k < 1") (fun () ->
+      ignore (Prelude.Clock.best_of ~k:(-3) (fun () -> ())));
+  let x, t = Prelude.Clock.best_of ~k:1 (fun () -> 41) in
+  Alcotest.(check int) "k = 1 still runs" 41 x;
+  Alcotest.(check bool) "time non-negative" true (t >= 0.0)
+
 let test_table_renders () =
   let t = Table.create ~title:"demo" [ ("name", Table.Left); ("v", Table.Right) ] in
   Table.add_row t [ "alpha"; "1" ];
@@ -147,6 +159,7 @@ let suite =
       Alcotest.test_case "stats empty/singleton" `Quick test_stats_empty_and_singleton;
       Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
       Alcotest.test_case "stats summary order" `Quick test_stats_summary_order;
+      Alcotest.test_case "clock best_of guard" `Quick test_clock_best_of_guard;
       Alcotest.test_case "table renders" `Quick test_table_renders;
       Alcotest.test_case "table arity" `Quick test_table_arity;
       Alcotest.test_case "sparkline" `Quick test_sparkline;

@@ -16,4 +16,5 @@ let () =
       Suite_corpus.suite;
       Suite_scale.suite;
       Suite_engine.suite;
+      Suite_obs.suite;
     ]
