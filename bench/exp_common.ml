@@ -43,5 +43,16 @@ let par_map f xs =
              (Printf.sprintf "experiment cell %d failed: %s" e.Engine.Batch.index
                 e.Engine.Batch.message))
 
+(* Strict-validate a generated instance before benchmarking it: a gated
+   timing run over an ill-posed instance would measure garbage
+   (doc/ROBUSTNESS.md). *)
+let checked inst =
+  match Sos.Instance.validate inst with
+  | Ok inst -> inst
+  | Error reason ->
+      failwith
+        ("bench: generated instance failed validation: "
+        ^ Robust.Failure.invalid_to_string reason)
+
 (* The (a × b) cell grid flattened row-major, for sweeps over two axes. *)
 let grid xs ys = Array.of_list (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs)

@@ -96,7 +96,7 @@ let t7c_corpus () =
       let rng = Prelude.Rng.create2 (base_seed + 0x7C3) i in
       let family = families.(i mod Array.length families) in
       let n = 100 + (50 * (i mod 5)) in
-      Workload.Sos_gen.generate rng family ~n ~m:16 ())
+      Exp_common.checked (Workload.Sos_gen.generate rng family ~n ~m:16 ()))
 
 (* Makespan fingerprint of a whole batch: order-sensitive, so it also
    catches result-reordering bugs, not just wrong makespans. *)

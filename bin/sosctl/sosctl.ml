@@ -10,13 +10,26 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-(* A batch spec failure, carrying its "line N: ..." message. The printer
-   makes [Printexc.to_string] (what the batch engine stores in its error
-   outcome) return the bare message, so batch error lines stay clean. *)
-exception Spec_error of string
+(* Exit-code discipline (doc/ROBUSTNESS.md): 0 success, 1 batch completed
+   with per-task failures, 2 usage error / invalid input, 3 a solver
+   produced an invalid schedule, 130 interrupted (SIGINT, cooperative
+   cancel). [Usage] carries the message for code 2. *)
+exception Usage of string
 
-let () =
-  Printexc.register_printer (function Spec_error m -> Some m | _ -> None)
+let invalid_input reason =
+  Printf.eprintf "sosctl: invalid input: %s\n"
+    (Robust.Failure.invalid_to_string reason);
+  2
+
+(* Load an instance through the strict validator (doc/ROBUSTNESS.md);
+   [window] additionally requires m >= 3, the Theorem 3.3 precondition. *)
+let load_instance ?(window = false) file k =
+  match read_input file with
+  | exception Sys_error msg -> invalid_input (Robust.Failure.Malformed msg)
+  | text -> (
+      match Sos.Instance.of_string_checked ~window text with
+      | Ok inst -> k inst
+      | Error reason -> invalid_input reason)
 
 (* ------------------------------------------------------- observability *)
 
@@ -85,6 +98,24 @@ let family_of_name name =
            (String.concat ", "
               (List.map (fun f -> f.Workload.Sos_gen.name) Workload.Sos_gen.all_families)))
 
+let algo_assoc =
+  [
+    ("window", `Window); ("listing1", `Listing1); ("unit", `Unit);
+    ("unit-np", `Unit_np);
+    ("list-sched", `List_sched); ("greedy", `Greedy);
+    ("naive-fracture", `Naive); ("no-move", `No_move); ("literal", `Literal);
+    ("preemptive", `Preemptive); ("fixed-assignment", `Fixed);
+  ]
+
+let algo_conv = Arg.enum algo_assoc
+let algo_name algo = fst (List.find (fun (_, a) -> a = algo) algo_assoc)
+
+(* Algorithms in the window family carry the Theorem 3.3 guarantee and its
+   m >= 3 precondition; the strict validator enforces it for these. *)
+let window_algo = function
+  | `Window | `Literal | `Listing1 | `Naive | `No_move -> true
+  | `Unit | `Unit_np | `List_sched | `Greedy | `Preemptive | `Fixed -> false
+
 (* One (preemptive?, schedule) dispatch for solve/analyze/batch; `-w trace`
    in `export` keeps its own traced-run special case. *)
 let run_algo ?(check = false) algo inst =
@@ -110,10 +141,18 @@ let gen_cmd =
         prerr_endline msg;
         1
     | Ok family ->
-        let rng = Prelude.Rng.create seed in
-        let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
-        print_string (Sos.Instance.to_string inst);
-        0
+        if m < 2 then invalid_input (Robust.Failure.Too_few_processors { m; need = 2 })
+        else if scale < 1 then invalid_input (Robust.Failure.Bad_scale scale)
+        else if n < 0 then invalid_input (Robust.Failure.Malformed "n must be >= 0")
+        else begin
+          let rng = Prelude.Rng.create seed in
+          let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
+          match Sos.Instance.validate inst with
+          | Ok _ ->
+              print_string (Sos.Instance.to_string inst);
+              0
+          | Error reason -> invalid_input reason
+        end
   in
   let family =
     Arg.(value & opt string "bimodal" & info [ "family"; "f" ] ~doc:"Workload family.")
@@ -133,20 +172,10 @@ let gen_cmd =
 
 (* ---------------------------------------------------------------- solve *)
 
-let algo_conv =
-  Arg.enum
-    [
-      ("window", `Window); ("listing1", `Listing1); ("unit", `Unit);
-      ("unit-np", `Unit_np);
-      ("list-sched", `List_sched); ("greedy", `Greedy);
-      ("naive-fracture", `Naive); ("no-move", `No_move); ("literal", `Literal);
-      ("preemptive", `Preemptive); ("fixed-assignment", `Fixed);
-    ]
-
 let solve_cmd =
   let run obs algo file gantt quiet =
     with_obs obs @@ fun () ->
-    let inst = Sos.Instance.of_string (read_input file) in
+    load_instance ~window:(window_algo algo) file @@ fun inst ->
     let preemptive, sched =
       Obs.Trace.with_span ~cat:"cli" "solve" (fun () -> run_algo ~check:true algo inst)
     in
@@ -196,7 +225,7 @@ let solve_cmd =
 let analyze_cmd =
   let run obs algo file =
     with_obs obs @@ fun () ->
-    let inst = Sos.Instance.of_string (read_input file) in
+    load_instance ~window:(window_algo algo) file @@ fun inst ->
     let preemptive, sched =
       Obs.Trace.with_span ~cat:"cli" "solve" (fun () -> run_algo algo inst)
     in
@@ -375,7 +404,7 @@ let sas_cmd =
 
 let export_cmd =
   let run file what algo =
-    let inst = Sos.Instance.of_string (read_input file) in
+    load_instance file @@ fun inst ->
     (match what with
     | `Instance -> print_string (Sos.Export.instance_to_csv inst)
     | `Schedule | `Schedule_rle | `Utilization | `Trace | `Svg -> begin
@@ -430,21 +459,66 @@ let export_cmd =
    delimited; results stream to stdout in spec order as they complete, one
    line per instance, with no timing in the lines — so the output is
    byte-identical at every -j (the acceptance check CI runs). Determinism
-   discipline: spec i's generator is seeded by (--seed, i), never by the
-   domain that happens to solve it. *)
+   discipline: spec i's generator on attempt a is seeded by
+   (--seed, i, a), never by the domain that happens to solve it.
+
+   Resilience (doc/ROBUSTNESS.md): per-spec failures become structured
+   `<idx> error <class> line <l>: <msg>` lines; --retries/--task-timeout
+   map onto Engine.Batch's bounded deterministic retry and cooperative
+   deadlines; --checkpoint journals every emitted line so a killed run
+   resumed with --resume replays the completed prefix byte-identically;
+   --chaos arms the seeded fault injector; SIGINT cancels the batch-wide
+   token and exits 130. *)
+
+(* What a batch task hands back: a freshly solved instance, or a marker
+   that its output line was already journaled by the interrupted run and
+   will be replayed verbatim at emit time (never recomputed — even an
+   armed chaos rule on the task site cannot change a replayed line). *)
+type batch_result =
+  | Solved of string * Sos.Instance.t * Sos.Schedule.t
+  | Replayed
+
+let payload_is_error line =
+  match String.split_on_char ' ' line with _ :: "error" :: _ -> true | _ -> false
 
 let batch_cmd =
-  let run obs file jobs seed out_dir algo =
+  let run obs file jobs seed out_dir algo retries task_timeout checkpoint resume
+      verbose_errors chaos chaos_seed =
     with_obs obs @@ fun () ->
-    if jobs < 1 then begin
-      prerr_endline "batch: -j must be >= 1";
-      2
-    end
-    else begin
+    try
+      if jobs < 1 then raise (Usage "-j must be >= 1");
+      if retries < 0 then raise (Usage "--retries must be >= 0");
+      (match task_timeout with
+      | Some t when t <= 0.0 -> raise (Usage "--task-timeout must be > 0")
+      | _ -> ());
+      if resume && checkpoint = None then
+        raise (Usage "--resume requires --checkpoint PATH");
+      (* Backtraces are only captured by the runtime when recording is on;
+         --verbose-errors implies it so Task_exn backtraces are real. *)
+      if verbose_errors then Printexc.record_backtrace true;
+      (match
+         (match chaos with Some s -> Some s | None -> Sys.getenv_opt "SOS_CHAOS")
+       with
+      | None -> ()
+      | Some spec ->
+          let cseed =
+            match chaos_seed with
+            | Some s -> s
+            | None -> (
+                match Sys.getenv_opt "SOS_CHAOS_SEED" with
+                | Some s -> Option.value (int_of_string_opt s) ~default:0
+                | None -> 0)
+          in
+          (match Robust.Chaos.arm ~seed:cseed spec with
+          | Ok () -> ()
+          | Error msg -> raise (Usage ("bad chaos spec: " ^ msg))));
       (* Keep each spec's 1-based line number in the input, so a failure
          deep inside a long @PATH spec file is locatable. *)
       let specs =
-        read_input file |> String.split_on_char '\n'
+        (match read_input file with
+        | exception Sys_error msg -> raise (Usage msg)
+        | text -> text)
+        |> String.split_on_char '\n'
         |> List.mapi (fun i l -> (i + 1, String.trim l))
         |> List.filter (fun (_, l) -> l <> "" && not (String.starts_with ~prefix:"#" l))
         |> Array.of_list
@@ -452,11 +526,21 @@ let batch_cmd =
       (match out_dir with
       | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
       | _ -> ());
+      let window = window_algo algo in
       let solve idx spec =
+        let open Robust.Failure in
         let label, inst =
-          if String.starts_with ~prefix:"@" spec then
+          if String.starts_with ~prefix:"@" spec then begin
             let path = String.sub spec 1 (String.length spec - 1) in
-            (path, Sos.Instance.of_string (In_channel.with_open_text path In_channel.input_all))
+            let text =
+              match In_channel.with_open_text path In_channel.input_all with
+              | exception Sys_error msg -> raise (Invalid (Malformed msg))
+              | text -> text
+            in
+            match Sos.Instance.of_string_checked ~window text with
+            | Ok inst -> (path, inst)
+            | Error reason -> raise (Invalid reason)
+          end
           else begin
             let fields =
               String.split_on_char ' ' spec |> List.filter (fun s -> s <> "")
@@ -466,27 +550,41 @@ let batch_cmd =
                 let int_field what s =
                   match int_of_string_opt s with
                   | Some v when v >= 1 -> v
-                  | _ -> failwith (Printf.sprintf "bad %s %S in spec %S" what s spec)
+                  | _ ->
+                      raise
+                        (Invalid
+                           (Malformed (Printf.sprintf "bad %s %S in spec %S" what s spec)))
                 in
                 let n = int_field "n" n and m = int_field "m" m in
+                let need = if window then 3 else 2 in
+                if m < need then raise (Invalid (Too_few_processors { m; need }));
                 let scale =
                   match rest with
                   | [] -> Workload.Sos_gen.default_scale
                   | [ s ] -> int_field "scale" s
-                  | _ -> failwith (Printf.sprintf "trailing fields in spec %S" spec)
+                  | _ ->
+                      raise
+                        (Invalid (Malformed (Printf.sprintf "trailing fields in spec %S" spec)))
                 in
                 let family =
                   match family_of_name family with
                   | Ok f -> f
-                  | Error msg -> failwith msg
+                  | Error msg -> raise (Invalid (Malformed msg))
                 in
-                let rng = Prelude.Rng.create2 seed idx in
-                (family.Workload.Sos_gen.name,
-                 Workload.Sos_gen.generate rng family ~n ~m ~scale ())
+                (* (--seed, index, attempt): a retried attempt re-derives
+                   its randomness deterministically at any -j. *)
+                let rng = Prelude.Rng.create3 seed idx (Robust.Context.attempt ()) in
+                let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
+                (match Sos.Instance.validate ~window inst with
+                | Ok _ -> ()
+                | Error reason -> raise (Invalid reason));
+                (family.Workload.Sos_gen.name, inst)
             | _ ->
-                failwith
-                  (Printf.sprintf
-                     "bad spec %S (want: <family> <n> <m> [scale], or @<file>)" spec)
+                raise
+                  (Invalid
+                     (Malformed
+                        (Printf.sprintf
+                           "bad spec %S (want: <family> <n> <m> [scale], or @<file>)" spec)))
           end
         in
         let preemptive, sched = run_algo algo inst in
@@ -496,53 +594,128 @@ let batch_cmd =
             failwith
               (Printf.sprintf "invalid schedule at step %d: %s" v.Sos.Schedule.at_step
                  v.Sos.Schedule.reason));
-        (label, inst, sched)
+        Solved (label, inst, sched)
+      in
+      (* The checkpoint header binds the journal to one run configuration:
+         resuming under a different seed, algorithm, or spec list must be
+         refused, not silently mixed. *)
+      let header =
+        Printf.sprintf "sosj1 seed=%d algo=%s specs=%s" seed (algo_name algo)
+          (Robust.Journal.digest
+             (String.concat "\n" (Array.to_list (Array.map snd specs))))
+      in
+      let replay = Hashtbl.create 16 in
+      let journal =
+        match checkpoint with
+        | None -> None
+        | Some path ->
+            if resume then begin
+              (match Robust.Journal.load ~path ~header with
+              | Error msg -> raise (Usage ("cannot resume: " ^ msg))
+              | Ok entries ->
+                  List.iter
+                    (fun (e : Robust.Journal.entry) ->
+                      if e.index < Array.length specs then
+                        Hashtbl.replace replay e.index e.payload)
+                    entries);
+              Some
+                (if Sys.file_exists path then Robust.Journal.reopen ~path
+                 else Robust.Journal.create ~path ~header)
+            end
+            else Some (Robust.Journal.create ~path ~header)
+      in
+      let batch_token = Robust.Cancel.create () in
+      let prev_sigint =
+        Sys.signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> Robust.Cancel.cancel batch_token))
       in
       let tasks =
         Array.mapi
-          (fun i (line, spec) () ->
-            try solve i spec
-            with e ->
-              (* Prefix every per-spec failure with the spec's input line
-                 number; Batch.protect stringifies whatever reaches it, and
-                 Spec_error's registered printer keeps the line bare. *)
-              let msg =
-                match e with Failure m -> m | e -> Printexc.to_string e
-              in
-              raise (Spec_error (Printf.sprintf "line %d: %s" line msg)))
+          (fun i (_line, spec) () ->
+            if Hashtbl.mem replay i then Replayed else solve i spec)
           specs
       in
       let failures = ref 0 in
-      let emit idx = function
-        | Ok (label, inst, sched) ->
-            (match out_dir with
-            | Some dir ->
-                Out_channel.with_open_text
-                  (Printf.sprintf "%s/batch-%04d.csv" dir idx)
-                  (fun oc -> Out_channel.output_string oc (Sos.Export.schedule_to_csv_rle sched))
-            | None -> ());
-            Printf.printf "%d ok %s n=%d m=%d makespan=%d lb=%d ratio=%.4f blocks=%d\n"
-              idx label (Sos.Instance.n inst) inst.Sos.Instance.m
-              sched.Sos.Schedule.makespan
-              (Sos.Bounds.lower_bound inst)
-              (Sos.Bounds.theorem_3_3_bound inst ~makespan:sched.Sos.Schedule.makespan)
-              (List.length sched.Sos.Schedule.steps);
+      let journal_line idx line =
+        match journal with
+        | None -> ()
+        | Some oc -> Robust.Journal.append oc ~index:idx ~payload:line
+      in
+      let emit idx (outcome : batch_result Engine.Batch.outcome) =
+        match Hashtbl.find_opt replay idx with
+        | Some payload ->
+            if payload_is_error payload then incr failures;
+            print_endline payload;
             flush stdout
-        | Error (e : Engine.Batch.error) ->
-            incr failures;
-            let message =
-              String.map (function '\n' | '\r' -> ' ' | c -> c) e.message
-            in
-            Printf.printf "%d error %s\n" idx message;
-            flush stdout
+        | None -> (
+            match outcome with
+            | Ok Replayed -> assert false
+            | Ok (Solved (label, inst, sched)) ->
+                (match out_dir with
+                | Some dir ->
+                    Out_channel.with_open_text
+                      (Printf.sprintf "%s/batch-%04d.csv" dir idx)
+                      (fun oc ->
+                        Out_channel.output_string oc
+                          (Sos.Export.schedule_to_csv_rle sched))
+                | None -> ());
+                let line =
+                  Printf.sprintf "%d ok %s n=%d m=%d makespan=%d lb=%d ratio=%.4f blocks=%d"
+                    idx label (Sos.Instance.n inst) inst.Sos.Instance.m
+                    sched.Sos.Schedule.makespan
+                    (Sos.Bounds.lower_bound inst)
+                    (Sos.Bounds.theorem_3_3_bound inst
+                       ~makespan:sched.Sos.Schedule.makespan)
+                    (List.length sched.Sos.Schedule.steps)
+                in
+                print_endline line;
+                flush stdout;
+                journal_line idx line
+            | Error (e : Engine.Batch.error) -> (
+                match e.failure with
+                | Robust.Failure.Cancelled ->
+                    (* Interrupted, not failed: no line, no journal entry —
+                       --resume re-runs it. *)
+                    ()
+                | failure ->
+                    incr failures;
+                    let message =
+                      String.map
+                        (function '\n' | '\r' -> ' ' | c -> c)
+                        e.message
+                    in
+                    let input_line, _ = specs.(idx) in
+                    let line =
+                      Printf.sprintf "%d error %s line %d: %s" idx
+                        (Robust.Failure.class_name failure) input_line message
+                    in
+                    print_endline line;
+                    flush stdout;
+                    journal_line idx line;
+                    if verbose_errors then begin
+                      Printf.eprintf "batch: task %d (line %d) failed after %d attempt%s: %s\n"
+                        idx input_line e.attempts
+                        (if e.attempts = 1 then "" else "s")
+                        (Robust.Failure.to_string failure);
+                      if e.backtrace <> "" then prerr_string e.backtrace;
+                      flush stderr
+                    end))
       in
       Obs.Trace.with_span ~cat:"cli" "batch"
         ~args:[ ("specs", Obs.Trace.I (Array.length specs)); ("domains", Obs.Trace.I jobs) ]
         (fun () ->
           Engine.Pool.with_pool ~domains:jobs (fun pool ->
-              Engine.Batch.stream pool tasks ~f:emit));
-      if !failures > 0 then 1 else 0
-    end
+              Engine.Batch.stream pool tasks ~retries ?task_timeout
+                ~cancel:batch_token ~f:emit));
+      Sys.set_signal Sys.sigint prev_sigint;
+      (match journal with Some oc -> Out_channel.close oc | None -> ());
+      Robust.Chaos.disarm ();
+      if Robust.Cancel.cancelled batch_token then 130
+      else if !failures > 0 then 1
+      else 0
+    with Usage msg ->
+      prerr_endline ("sosctl batch: " ^ msg);
+      2
   in
   let file =
     Arg.(
@@ -551,8 +724,8 @@ let batch_cmd =
           ~doc:
             "Newline-delimited instance specs (file or - for stdin). Each line is \
              $(i,FAMILY N M [SCALE]) — generated deterministically from (--seed, \
-             line index) — or $(i,@PATH), an instance file. Blank lines and # \
-             comments are skipped.")
+             line index, attempt) — or $(i,@PATH), an instance file. Blank lines \
+             and # comments are skipped.")
   in
   let jobs =
     Arg.(
@@ -573,12 +746,84 @@ let batch_cmd =
           ~docv:"DIR")
   in
   let algo = Arg.(value & opt algo_conv `Window & info [ "algo"; "a" ] ~doc:"Algorithm.") in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "Re-run a failed spec up to $(docv) extra times (transient failures \
+             only: task exceptions and deadline expiry — never invalid input). \
+             Attempt $(i,a) of spec $(i,i) derives its randomness from (--seed, \
+             i, a), so retried runs stay byte-identical at any -j."
+          ~docv:"N")
+  in
+  let task_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "task-timeout" ]
+          ~doc:
+            "Cooperative per-spec deadline in seconds; an attempt that exceeds it \
+             fails with class $(b,deadline) (and is retried if --retries allows)."
+          ~docv:"SECS")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:
+            "Append every emitted result line to a journal at $(docv) (flushed \
+             per line), enabling --resume after a crash or kill."
+          ~docv:"PATH")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay results journaled at --checkpoint $(i,PATH) verbatim and solve \
+             only the remaining specs; the concatenated stdout of the killed run \
+             and this one is byte-identical to an uninterrupted run. Refused if \
+             the journal header (seed, algorithm, spec digest) does not match.")
+  in
+  let verbose_errors =
+    Arg.(
+      value & flag
+      & info [ "verbose-errors" ]
+          ~doc:
+            "For each failed spec, also print the failure class, attempt count, \
+             and the backtrace captured at the raise site to stderr (stdout stays \
+             byte-identical).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ]
+          ~doc:
+            "Arm the seeded fault injector with $(docv) (see doc/ROBUSTNESS.md; \
+             e.g. $(b,sos.fast.run\\@3,19:attempts=1) or $(b,engine.pool.worker~0.1)). \
+             Defaults to $(b,\\$SOS_CHAOS) when set."
+          ~docv:"SPEC")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ]
+          ~doc:"Seed for probabilistic chaos draws (default $(b,\\$SOS_CHAOS_SEED) or 0)."
+          ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Solve a stream of instances on the multicore pool (results stream in \
-          input order; deterministic at any -j).")
-    Term.(const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo)
+          input order; deterministic at any -j; per-spec failures become \
+          structured error lines).")
+    Term.(
+      const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo $ retries
+      $ task_timeout $ checkpoint $ resume $ verbose_errors $ chaos $ chaos_seed)
 
 (* ------------------------------------------------------------- hardness *)
 

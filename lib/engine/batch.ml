@@ -1,33 +1,106 @@
-type error = { index : int; message : string }
+type error = {
+  index : int;
+  message : string;
+  failure : Robust.Failure.t;
+  backtrace : string;
+  attempts : int;
+}
+
 type 'a outcome = ('a, error) result
 
-(* Both deterministic: which tasks run and which of them raise depends
-   only on the batch, never on the domain count. *)
+(* engine.batch.tasks counts attempts and engine.batch.errors final
+   failures; both are deterministic: which attempts run and which fail
+   depends only on the batch (and the armed chaos configuration, itself
+   keyed by task index/attempt), never on the domain count. The per-class
+   failure and retry counters are runtime-class (doc/OBSERVABILITY.md). *)
 let c_tasks = Obs.Metrics.counter "engine.batch.tasks"
 let c_errors = Obs.Metrics.counter "engine.batch.errors"
+let c_retries = Obs.Metrics.runtime_counter "engine.batch.retries"
+let c_invalid = Obs.Metrics.runtime_counter "engine.batch.fail.invalid_instance"
+let c_task_exn = Obs.Metrics.runtime_counter "engine.batch.fail.task_exn"
+let c_deadline = Obs.Metrics.runtime_counter "engine.batch.fail.deadline"
+let c_cancelled = Obs.Metrics.runtime_counter "engine.batch.fail.cancelled"
 
-let protect index task =
-  Obs.Metrics.incr c_tasks;
-  try Ok (task ())
-  with e ->
-    Obs.Metrics.incr c_errors;
-    Error { index; message = Printexc.to_string e }
+let record_failure = function
+  | Robust.Failure.Invalid_instance _ -> Obs.Metrics.incr c_invalid
+  | Robust.Failure.Task_exn _ -> Obs.Metrics.incr c_task_exn
+  | Robust.Failure.Deadline_exceeded _ -> Obs.Metrics.incr c_deadline
+  | Robust.Failure.Cancelled -> Obs.Metrics.incr c_cancelled
+  | Robust.Failure.Pool_crashed _ -> ()
 
-let map_pool pool ?chunk tasks =
+let error_of ~index ~attempts failure bt =
+  Obs.Metrics.incr c_errors;
+  {
+    index;
+    message = Robust.Failure.message failure;
+    failure;
+    backtrace = (match bt with Some b -> Printexc.raw_backtrace_to_string b | None -> "");
+    attempts;
+  }
+
+let never_ran index =
+  {
+    index;
+    message = "task never ran";
+    failure = Robust.Failure.Pool_crashed "task never ran";
+    backtrace = "";
+    attempts = 0;
+  }
+
+(* One task: run up to [1 + retries] attempts, each inside its own ambient
+   scope carrying (index, attempt, cancel token). The per-attempt token
+   owns the --task-timeout deadline and chains to the batch-wide [cancel]
+   parent, so cooperative pollers (Robust.Context.poll in the solvers) see
+   both. Retry is bounded and deterministic: the decision depends only on
+   the failure class, and a task that re-derives randomness from
+   (base seed, index, Robust.Context.attempt ()) — e.g. Rng.create3 —
+   reproduces the same attempt sequence at any domain count. *)
+let protect ?(retries = 0) ?task_timeout ?cancel index task =
+  if retries < 0 then invalid_arg "Engine.Batch: retries < 0";
+  let rec go attempt =
+    if match cancel with Some c -> Robust.Cancel.cancelled c | None -> false then begin
+      record_failure Robust.Failure.Cancelled;
+      Error (error_of ~index ~attempts:attempt Robust.Failure.Cancelled None)
+    end
+    else begin
+      Obs.Metrics.incr c_tasks;
+      let token = Robust.Cancel.create ?timeout:task_timeout ?parent:cancel () in
+      let ctx = Robust.Context.make ~index ~attempt ~cancel:token in
+      match
+        Robust.Context.with_ctx ctx (fun () ->
+            Robust.Chaos.point "engine.batch.task";
+            task ())
+      with
+      | v -> Ok v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          let failure = Robust.Failure.of_exn e bt in
+          record_failure failure;
+          if attempt < retries && Robust.Failure.transient failure then begin
+            Obs.Metrics.incr c_retries;
+            go (attempt + 1)
+          end
+          else Error (error_of ~index ~attempts:(attempt + 1) failure (Some bt))
+    end
+  in
+  go 0
+
+let map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks =
   let n = Array.length tasks in
-  let out = Array.make n (Error { index = -1; message = "Engine.Batch: task never ran" }) in
+  let out = Array.init n (fun i -> Error (never_ran i)) in
   Pool.run_ordered pool ?chunk n
-    ~run:(fun i -> out.(i) <- protect i tasks.(i))
+    ~run:(fun i -> out.(i) <- protect ?retries ?task_timeout ?cancel i tasks.(i))
     ~emit:ignore;
   out
 
-let map ?domains ?chunk tasks = Pool.with_pool ?domains (fun pool -> map_pool pool ?chunk tasks)
+let map ?domains ?chunk ?retries ?task_timeout ?cancel tasks =
+  Pool.with_pool ?domains (fun pool -> map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks)
 
-let stream pool ?chunk tasks ~f =
+let stream pool ?chunk ?retries ?task_timeout ?cancel tasks ~f =
   let n = Array.length tasks in
   let slots = Array.make n None in
   Pool.run_ordered pool ?chunk n
-    ~run:(fun i -> slots.(i) <- Some (protect i tasks.(i)))
+    ~run:(fun i -> slots.(i) <- Some (protect ?retries ?task_timeout ?cancel i tasks.(i)))
     ~emit:(fun i ->
       match slots.(i) with
       | Some r ->
@@ -37,7 +110,7 @@ let stream pool ?chunk tasks ~f =
           (* run_ordered guarantees run i completed before emit i *)
           assert false)
 
-let map_reduce ?domains ?chunk ~reduce ~init tasks =
+let map_reduce ?domains ?chunk ?retries ?task_timeout ?cancel ~reduce ~init tasks =
   Array.fold_left
     (fun acc r ->
       match (acc, r) with
@@ -45,4 +118,4 @@ let map_reduce ?domains ?chunk ~reduce ~init tasks =
       | Ok _, Error e -> Error e
       | Ok a, Ok v -> Ok (reduce a v))
     (Ok init)
-    (map ?domains ?chunk tasks)
+    (map ?domains ?chunk ?retries ?task_timeout ?cancel tasks)

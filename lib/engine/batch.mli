@@ -1,29 +1,71 @@
-(** Deterministic batch maps over arrays of thunks, on a {!Pool}.
+(** Deterministic, fault-tolerant batch maps over arrays of thunks, on a
+    {!Pool}.
 
-    Results always come back in submission order, and a raising task turns
+    Results always come back in submission order, and a failing task turns
     into an [Error] for its own index instead of killing the pool or the
     batch. Combined with the per-task-index seeding contract (see
     {!Pool}), every function here returns byte-identical results at any
-    domain count — [~domains:1] is the exact sequential path. *)
+    domain count — [~domains:1] is the exact sequential path.
 
-type error = { index : int; message : string }
-(** [index] is the failing task's submission index; [message] is
-    [Printexc.to_string] of the exception it raised. *)
+    {b Resilience} (doc/ROBUSTNESS.md). Every entry point takes:
+    - [?retries]: failed attempts of {e transient} classes
+      ({!Robust.Failure.transient}: task exceptions and deadline expiry)
+      are re-run up to [retries] extra times. Each attempt executes inside
+      an ambient {!Robust.Context} scope carrying [(index, attempt)], so a
+      task re-deriving randomness via [Rng.create3 base index attempt]
+      retries deterministically at any domain count.
+    - [?task_timeout]: a per-attempt cooperative deadline in wall seconds.
+      Tasks (the solvers do, via [Robust.Context.poll]) observe it at loop
+      boundaries; an expired attempt fails with [Deadline_exceeded].
+    - [?cancel]: a batch-wide {!Robust.Cancel} token. Once cancelled,
+      running tasks unwind at their next poll and not-yet-started tasks
+      fail immediately, all with [Cancelled]; the pool stays usable. *)
+
+type error = {
+  index : int;  (** the failing task's submission index *)
+  message : string;  (** {!Robust.Failure.message} of [failure] *)
+  failure : Robust.Failure.t;  (** structured failure class *)
+  backtrace : string;
+      (** backtrace captured at the raise site of the final attempt; [""]
+          unless backtrace recording is on ([Printexc.record_backtrace]) *)
+  attempts : int;  (** attempts executed (1 = no retry happened) *)
+}
 
 type 'a outcome = ('a, error) result
 
-val map : ?domains:int -> ?chunk:int -> (unit -> 'a) array -> 'a outcome array
+val map :
+  ?domains:int ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?cancel:Robust.Cancel.t ->
+  (unit -> 'a) array ->
+  'a outcome array
 (** [map ~domains ~chunk tasks] runs every thunk on a fresh pool of
     [domains] workers (default {!Pool.recommended_domain_count}), [chunk]
     consecutive tasks per queued unit of work (default 1), and returns the
     outcomes in submission order. *)
 
-val map_pool : Pool.t -> ?chunk:int -> (unit -> 'a) array -> 'a outcome array
+val map_pool :
+  Pool.t ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?cancel:Robust.Cancel.t ->
+  (unit -> 'a) array ->
+  'a outcome array
 (** [map] on an existing pool (reusable across batches — a failed task
     leaves the pool fully usable). *)
 
 val stream :
-  Pool.t -> ?chunk:int -> (unit -> 'a) array -> f:(int -> 'a outcome -> unit) -> unit
+  Pool.t ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?cancel:Robust.Cancel.t ->
+  (unit -> 'a) array ->
+  f:(int -> 'a outcome -> unit) ->
+  unit
 (** [stream pool tasks ~f] calls [f i outcome_i] on the calling thread in
     increasing index order, as each prefix of the batch completes — early
     results are consumed while later tasks are still running. *)
@@ -31,6 +73,9 @@ val stream :
 val map_reduce :
   ?domains:int ->
   ?chunk:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?cancel:Robust.Cancel.t ->
   reduce:('acc -> 'a -> 'acc) ->
   init:'acc ->
   (unit -> 'a) array ->

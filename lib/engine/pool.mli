@@ -43,8 +43,14 @@ val run_ordered :
     is visible to [emit i] (the completion handshake synchronizes). *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop and join all workers. The pool must not be used
-    afterwards. Idempotent. *)
+(** Drain the queue, stop and join all workers. Idempotent. Using the pool
+    afterwards raises [Robust.Failure.Pool_down] instead of deadlocking.
+
+    {b Fault tolerance.} The chaos site ["engine.pool.worker"] (see
+    {!Robust.Chaos}) fires between dequeues and kills the worker that
+    draws it — except the last live one, which refuses to die — so an
+    armed worker-death rule degrades the pool gracefully down to one
+    consumer and every batch still completes with ordered results. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down

@@ -11,6 +11,7 @@ type t = {
   not_empty : Condition.t;
   not_full : Condition.t;
   mutable stop : bool;
+  mutable alive : int;  (* workers still in their loop; bounds chaos deaths *)
   mutable workers : unit Domain.t list;
 }
 
@@ -23,12 +24,34 @@ let g_queue_hwm = Obs.Metrics.runtime_counter "engine.pool.queue_hwm"
 let t_queue_wait = Obs.Metrics.timer "engine.pool.queue_wait"
 
 let domain_counter w = Obs.Metrics.runtime_counter (Printf.sprintf "engine.pool.d%d.tasks" w)
+let g_deaths = Obs.Metrics.runtime_counter "engine.pool.worker_deaths"
 
 let recommended_domain_count () = Domain.recommended_domain_count ()
+
+(* Chaos site "engine.pool.worker": fires between dequeues (the worker
+   holds no task), simulating an asynchronous worker death. The pool
+   survives any number of injected deaths because the last live worker
+   refuses to die — the queue always keeps at least one consumer, so
+   run_ordered still completes and results stay ordered (tested in
+   suite_robust). *)
+let chaos_death t =
+  match Robust.Chaos.point "engine.pool.worker" with
+  | () -> false
+  | exception Robust.Chaos.Injected _ ->
+      Mutex.lock t.lock;
+      let die = t.alive > 1 in
+      if die then t.alive <- t.alive - 1;
+      Mutex.unlock t.lock;
+      if die then Obs.Metrics.incr g_deaths;
+      die
 
 (* [w] is the worker's index, used as the Chrome trace track id (tid w+1;
    the caller thread is track 0) and for the per-domain runtime counter. *)
 let rec worker_loop t w dc =
+  if Robust.Chaos.armed () && chaos_death t then ()
+  else worker_iteration t w dc
+
+and worker_iteration t w dc =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stop do
     Condition.wait t.not_empty t.lock
@@ -63,16 +86,19 @@ let create ?domains () =
       not_empty = Condition.create ();
       not_full = Condition.create ();
       stop = false;
+      alive = 0;
       workers = [];
     }
   in
-  if domains > 1 then
+  if domains > 1 then begin
+    t.alive <- domains;
     t.workers <-
       List.init domains (fun w ->
           Domain.spawn (fun () ->
               if Obs.Trace.active () then
                 Obs.Trace.set_thread_name ~tid:(w + 1) (Printf.sprintf "domain-%d" w);
-              worker_loop t w (domain_counter w)));
+              worker_loop t w (domain_counter w)))
+  end;
   t
 
 let domains t = t.domains
@@ -91,6 +117,10 @@ let submit t task =
     else task
   in
   Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    raise (Robust.Failure.Pool_down "Engine.Pool: submit after shutdown")
+  end;
   while Queue.length t.queue >= t.capacity do
     Condition.wait t.not_full t.lock
   done;
@@ -101,6 +131,7 @@ let submit t task =
 
 let run_ordered t ?(chunk = 1) n ~run ~emit =
   if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  if t.stop then raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered after shutdown");
   if n = 0 then ()
   else if t.workers = [] then
     (* The exact sequential path: no queue, no synchronization. *)

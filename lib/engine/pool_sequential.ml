@@ -4,7 +4,7 @@
    parallel and sequential paths byte-identical, consumers need no
    version-specific code. *)
 
-type t = { domains : int }
+type t = { domains : int; mutable stop : bool }
 
 (* Same deterministic counter as the multicore pool: run-indices executed
    (the runtime-class queue metrics have no sequential analogue). *)
@@ -19,19 +19,22 @@ let create ?domains () =
     | Some d when d >= 1 -> d
     | Some d -> invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
   in
-  { domains }
+  { domains; stop = false }
 
 let domains t = t.domains
 
-let run_ordered _t ?chunk n ~run ~emit =
+let run_ordered t ?chunk n ~run ~emit =
   ignore chunk;
   if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  if t.stop then raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered after shutdown");
   for i = 0 to n - 1 do
     Obs.Metrics.incr c_tasks;
     (try run i with _ -> ());
     emit i
   done
 
-let shutdown _t = ()
+let shutdown t = t.stop <- true
 
-let with_pool ?domains f = f (create ?domains ())
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

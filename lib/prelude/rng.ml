@@ -17,6 +17,15 @@ let create2 seed index =
   let s = mix64 (Int64.of_int seed) in
   { state = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int index))) }
 
+let create3 seed index attempt =
+  (* Chained create2: injective in the triple for the same reason, used by
+     the resilient batch engine so a retried attempt draws a fresh but
+     reproducible stream — (base seed, task index, attempt) never depends
+     on domain identity, so retried runs stay byte-identical at any -j. *)
+  let s = mix64 (Int64.of_int seed) in
+  let s = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int index))) in
+  { state = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int attempt))) }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

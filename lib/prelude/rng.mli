@@ -16,6 +16,13 @@ val create2 : int -> int -> t
     its submission index (never from domain identity or completion order)
     keeps batch output byte-identical at any domain count. *)
 
+val create3 : int -> int -> int -> t
+(** [create3 base index attempt] extends {!create2} with a retry-attempt
+    coordinate: the resilient batch engine seeds attempt [a] of task [i]
+    from [(base, i, a)], so a retried task draws fresh randomness while the
+    whole run — including every retry — stays byte-identical at any domain
+    count. Distinct triples give independent streams. *)
+
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 

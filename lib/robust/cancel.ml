@@ -1,0 +1,28 @@
+type t = {
+  flag : bool Atomic.t;
+  timeout : float option;  (* the armed duration, for the error payload *)
+  deadline : float option;  (* absolute wall-clock expiry *)
+  parent : t option;
+}
+
+let none = { flag = Atomic.make false; timeout = None; deadline = None; parent = None }
+
+let create ?timeout ?parent () =
+  (match timeout with
+  | Some s when s <= 0.0 -> invalid_arg "Robust.Cancel.create: timeout <= 0"
+  | _ -> ());
+  let deadline = Option.map (fun s -> Prelude.Clock.now () +. s) timeout in
+  { flag = Atomic.make false; timeout; deadline; parent }
+
+let cancel t = Atomic.set t.flag true
+
+let rec cancelled t =
+  Atomic.get t.flag || match t.parent with Some p -> cancelled p | None -> false
+
+let rec check t =
+  if Atomic.get t.flag then raise Failure.Cancel_requested;
+  (match t.deadline with
+  | Some d when Prelude.Clock.now () > d ->
+      raise (Failure.Deadline (Option.value t.timeout ~default:0.0))
+  | _ -> ());
+  match t.parent with Some p -> check p | None -> ()

@@ -1,0 +1,62 @@
+type entry = { index : int; payload : string }
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let parse_entry line =
+  (* "<index> <digest> <payload>"; the payload may itself contain spaces. *)
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp1 -> begin
+      match String.index_from_opt line (sp1 + 1) ' ' with
+      | None -> None
+      | Some sp2 -> begin
+          let idx = int_of_string_opt (String.sub line 0 sp1) in
+          let dg = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+          let payload = String.sub line (sp2 + 1) (String.length line - sp2 - 1) in
+          match idx with
+          | Some index when index >= 0 && String.equal dg (digest payload) ->
+              Some { index; payload }
+          | _ -> None
+        end
+    end
+
+let load ~path ~header =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let body = In_channel.with_open_text path In_channel.input_all in
+    match String.split_on_char '\n' body with
+    | [] | [ "" ] -> Ok []
+    | got_header :: entries ->
+        if not (String.equal got_header header) then
+          Error
+            (Printf.sprintf
+               "checkpoint %s was written by a different run configuration (header %S, \
+                expected %S)"
+               path got_header header)
+        else Ok (List.filter_map parse_entry entries)
+  end
+
+let create ~path ~header =
+  let oc = Out_channel.open_text path in
+  Out_channel.output_string oc (header ^ "\n");
+  Out_channel.flush oc;
+  oc
+
+let reopen ~path =
+  (* A process killed mid-append can leave a torn final line with no
+     newline; appending straight after it would glue the next entry onto
+     the torn one and corrupt both. Trim back to the last complete line
+     before appending. *)
+  (match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ()
+  | body ->
+      let len = String.length body in
+      if len > 0 && body.[len - 1] <> '\n' then
+        let keep = match String.rindex_opt body '\n' with Some i -> i + 1 | None -> 0 in
+        Unix.truncate path keep);
+  Out_channel.open_gen [ Open_append; Open_text ] 0o644 path
+
+let append oc ~index ~payload =
+  if String.contains payload '\n' then invalid_arg "Robust.Journal.append: payload contains newline";
+  Out_channel.output_string oc (Printf.sprintf "%d %s %s\n" index (digest payload) payload);
+  Out_channel.flush oc

@@ -1,0 +1,44 @@
+(** Append-only checkpoint journal for batch runs.
+
+    A journal records, per completed task, its submission index and the
+    exact output payload the run emitted for it, so a killed run can be
+    resumed and replay the completed prefix byte-identically instead of
+    re-solving it (`sosctl batch --checkpoint PATH --resume`).
+
+    {b File format} (line-oriented text, doc/ROBUSTNESS.md):
+    {[
+      <header line>                      e.g. "sosj1 seed=7 algo=window specs=<md5>"
+      <index> <md5-of-payload> <payload>
+      ...
+    ]}
+    The header binds the journal to one run configuration; {!load} refuses
+    a journal whose header differs (resuming under a different seed,
+    algorithm, or spec list would silently mix outputs). Each entry line is
+    flushed when appended, and {!load} drops any entry whose digest does
+    not match its payload — a process killed mid-append leaves at most one
+    torn trailing line, which is simply re-run on resume. Payloads must be
+    newline-free (enforced by {!append}). *)
+
+type entry = { index : int; payload : string }
+
+val digest : string -> string
+(** MD5 hex of a string (also used by callers to fingerprint the spec list
+    into the header). *)
+
+val load : path:string -> header:string -> (entry list, string) result
+(** Entries in file order ([Ok []] if the file does not exist). [Error] if
+    the file exists but its header line differs from [header]. Torn or
+    corrupt entry lines are skipped silently. *)
+
+val create : path:string -> header:string -> Out_channel.t
+(** Truncate/create the journal, write the header, flush, and return the
+    channel for {!append}. *)
+
+val reopen : path:string -> Out_channel.t
+(** Open an existing journal for appending (after {!load}). A torn final
+    line left by a kill mid-append is truncated away first, so the next
+    {!append} starts on a fresh line. *)
+
+val append : Out_channel.t -> index:int -> payload:string -> unit
+(** Append one entry and flush. Raises [Invalid_argument] if [payload]
+    contains a newline. *)

@@ -1,0 +1,17 @@
+(** Domain-local storage with a portable interface.
+
+    On OCaml >= 5.0 this is [Domain.DLS] (each pool worker domain gets its
+    own slot); on 4.x — where the engine's pool is the sequential fallback
+    and everything runs on one thread — a plain ref cell provides the same
+    interface. Used by {!Context} to give each in-flight batch task an
+    ambient (index, attempt, cancel-token) scope without threading it
+    through every solver signature. *)
+
+type 'a key
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] allocates a slot; [init] produces the per-domain
+    initial value. *)
+
+val get : 'a key -> 'a
+val set : 'a key -> 'a -> unit

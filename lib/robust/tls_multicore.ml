@@ -1,0 +1,8 @@
+(* Domain-local storage on OCaml >= 5.0. See tls.mli; the 4.x build
+   substitutes tls_sequential.ml for this file. *)
+
+type 'a key = 'a Domain.DLS.key
+
+let new_key init = Domain.DLS.new_key init
+let get = Domain.DLS.get
+let set = Domain.DLS.set

@@ -1,0 +1,9 @@
+(* Single-threaded fallback for OCaml < 5.0 (no Domain module): one ref
+   cell per key. The engine's pool is sequential on 4.x, so there is only
+   ever one "domain". *)
+
+type 'a key = 'a ref
+
+let new_key init = ref (init ())
+let get = ( ! )
+let set k v = k := v

@@ -30,6 +30,8 @@ let run_listing4 ~m ~budget tasks = Stream.run ~m ~budget (sort_for_listing4 tas
 let run raw =
   Obs.Metrics.time t_run @@ fun () ->
   Obs.Metrics.incr c_runs;
+  Robust.Context.poll ();
+  Robust.Chaos.point "sas.combined.run";
   let inst = Sas_instance.normalize_scale raw in
   let m = inst.Sas_instance.m and scale = inst.Sas_instance.scale in
   let t1, t2 = Sas_instance.partition inst in

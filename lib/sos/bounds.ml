@@ -2,12 +2,44 @@ let ceil_div a b =
   if b <= 0 then invalid_arg "Bounds.ceil_div: non-positive divisor";
   if a <= 0 then 0 else ((a - 1) / b) + 1
 
+(* Overflow-guarded Equation (1) sums: with p_j ≈ max_int/2 the plain
+   Σ p_j·r_j wraps negative and the "lower bound" silently collapses.
+   [Instance.validate] performs the same checks; routing the bound
+   computation itself through them means even un-validated callers get
+   [Robust.Failure.Invalid (Overflow _)] instead of garbage. *)
+let sum_checked f inst =
+  let n = Instance.n inst in
+  let rec go acc i =
+    if i >= n then Some acc
+    else
+      let v = f (Instance.job inst i) in
+      if v < 0 || acc > max_int - v then None else go (acc + v) (i + 1)
+  in
+  go 0 0
+
+let total_requirement_checked inst =
+  sum_checked
+    (fun (j : Job.t) -> if j.size > max_int / j.req then -1 else j.size * j.req)
+    inst
+
+let total_volume_checked inst = sum_checked (fun (j : Job.t) -> j.size) inst
+
 let resource_bound inst = ceil_div (Instance.total_requirement inst) inst.Instance.scale
 let volume_bound inst = ceil_div (Instance.total_volume inst) inst.Instance.m
 let longest_job_bound inst = Instance.max_size inst
 
+let lower_bound_checked inst =
+  match (total_requirement_checked inst, total_volume_checked inst) with
+  | Some s, Some p ->
+      Ok (max (ceil_div s inst.Instance.scale)
+           (max (ceil_div p inst.Instance.m) (Instance.max_size inst)))
+  | None, _ -> Error (Robust.Failure.Overflow "total requirement Σ p_j·r_j exceeds max_int")
+  | _, None -> Error (Robust.Failure.Overflow "total volume Σ p_j exceeds max_int")
+
 let lower_bound inst =
-  max (resource_bound inst) (max (volume_bound inst) (longest_job_bound inst))
+  match lower_bound_checked inst with
+  | Ok lb -> lb
+  | Error reason -> raise (Robust.Failure.Invalid reason)
 
 let theorem_3_3_bound inst ~makespan =
   let lb = lower_bound inst in

@@ -16,7 +16,15 @@ val longest_job_bound : Instance.t -> int
 (** [max_j p_j] — a job occupies one processor for at least [p_j] steps. *)
 
 val lower_bound : Instance.t -> int
-(** Maximum of the three bounds above; [0] for the empty instance. *)
+(** Maximum of the three bounds above; [0] for the empty instance. The
+    sums are overflow-guarded: on an instance whose [Σ p_j] or
+    [Σ p_j·r_j] exceeds [max_int] (e.g. [p_j ≈ max_int/2] with tiny
+    [r_j]) this raises [Robust.Failure.Invalid (Overflow _)] instead of
+    returning a silently negative bound. *)
+
+val lower_bound_checked : Instance.t -> (int, Robust.Failure.invalid) result
+(** Non-raising form of {!lower_bound} for entry points that report
+    structured failures. *)
 
 val theorem_3_3_bound : Instance.t -> makespan:int -> float
 (** [makespan / lower_bound] as a float ([infinity] when the lower bound is

@@ -86,6 +86,7 @@ let skip_length st (outcome : Assign.outcome) w =
 let run_count ?(variant = `Fixed) inst =
   Obs.Metrics.time t_run @@ fun () ->
   Obs.Metrics.incr c_runs;
+  Robust.Chaos.point "sos.fast.run";
   let st = State.create inst in
   let size = inst.Instance.m - 1 in
   let budget = inst.Instance.scale in
@@ -97,6 +98,11 @@ let run_count ?(variant = `Fixed) inst =
   while not (State.all_finished st) do
     incr iters;
     Obs.Metrics.incr c_iters;
+    (* Cooperative cancellation/deadline poll plus a per-step chaos site:
+       both are one atomic load when nothing is armed, so the hot loop
+       stays allocation-free and the bench gate's overhead budget holds. *)
+    Robust.Context.poll ();
+    Robust.Chaos.point "sos.fast.step";
     (* Backstop against a skip-logic regression: between two completions the
        loop simulates O(1) steps plus at most one q-event, so iterations are
        O(n); anything near this generous budget is a bug, not workload. *)

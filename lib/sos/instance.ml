@@ -62,34 +62,135 @@ let to_string t =
     t.jobs;
   Buffer.contents buf
 
-let of_string str =
+(* Shared parser behind of_string (raising) and of_string_checked
+   (Result): text -> (m, scale, caller-ordered specs). *)
+let parse_text str =
   let lines =
     String.split_on_char '\n' str
     |> List.map String.trim
     |> List.filter (fun l -> l <> "")
   in
   match lines with
-  | [] -> failwith "Instance.of_string: empty input"
+  | [] -> Error "Instance.of_string: empty input"
   | header :: rest -> begin
       match String.split_on_char ' ' header with
-      | [ "sos"; m; scale; count ] ->
-          let m = int_of_string m and scale = int_of_string scale in
-          let count = int_of_string count in
-          if List.length rest <> count then
-            failwith "Instance.of_string: job count mismatch";
-          let by_pos =
-            List.map
-              (fun line ->
-                match String.split_on_char ' ' line with
-                | [ pos; size; req ] ->
-                    (int_of_string pos, (int_of_string size, int_of_string req))
-                | _ -> failwith "Instance.of_string: malformed job line")
-              rest
-          in
-          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) by_pos in
-          create ~m ~scale (List.map snd sorted)
-      | _ -> failwith "Instance.of_string: malformed header"
+      | [ "sos"; m; scale; count ] -> begin
+          match (int_of_string_opt m, int_of_string_opt scale, int_of_string_opt count) with
+          | Some m, Some scale, Some count ->
+              if List.length rest <> count then
+                Error "Instance.of_string: job count mismatch"
+              else begin
+                let parse_job line =
+                  match String.split_on_char ' ' line with
+                  | [ pos; size; req ] -> begin
+                      match
+                        (int_of_string_opt pos, int_of_string_opt size, int_of_string_opt req)
+                      with
+                      | Some pos, Some size, Some req -> Ok (pos, (size, req))
+                      | _ -> Error "Instance.of_string: malformed job line"
+                    end
+                  | _ -> Error "Instance.of_string: malformed job line"
+                in
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | line :: rest -> begin
+                      match parse_job line with
+                      | Ok j -> go (j :: acc) rest
+                      | Error _ as e -> e
+                    end
+                in
+                match go [] rest with
+                | Error _ as e -> e
+                | Ok by_pos ->
+                    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) by_pos in
+                    Ok (m, scale, List.map snd sorted)
+              end
+          | _ -> Error "Instance.of_string: malformed header"
+        end
+      | _ -> Error "Instance.of_string: malformed header"
     end
+
+let of_string str =
+  match parse_text str with
+  | Ok (m, scale, specs) -> create ~m ~scale specs
+  | Error msg -> failwith msg
+
+(* ------------------------------------------------- strict validation
+   (doc/ROBUSTNESS.md). The checked constructors return structured
+   Robust.Failure.invalid reasons instead of raising, and additionally
+   guard the Equation (1) quantities against int overflow — an instance
+   whose Σ p_j or Σ p_j·r_j exceeds max_int would make the lower bound
+   silently negative. *)
+
+let sum_checked f jobs =
+  Array.fold_left
+    (fun acc j ->
+      match acc with
+      | None -> None
+      | Some a ->
+          let v = f j in
+          if v < 0 || a > max_int - v then None else Some (a + v))
+    (Some 0) jobs
+
+let validate ?(window = false) t =
+  let open Robust.Failure in
+  if window && t.m < 3 then Error (Too_few_processors { m = t.m; need = 3 })
+  else begin
+    let s_of (j : Job.t) = if j.size > max_int / j.req then -1 else j.size * j.req in
+    match
+      ( sum_checked (fun (j : Job.t) -> j.size) t.jobs,
+        sum_checked s_of t.jobs,
+        sum_checked (fun (j : Job.t) -> j.req) t.jobs )
+    with
+    | Some _, Some _, Some _ -> Ok t
+    | None, _, _ -> Error (Overflow "total volume Σ p_j exceeds max_int")
+    | _, None, _ -> Error (Overflow "total requirement Σ p_j·r_j exceeds max_int")
+    | _, _, None -> Error (Overflow "Σ r_j exceeds max_int")
+  end
+
+let create_checked ?window ~m ~scale specs =
+  let open Robust.Failure in
+  if m < 2 then Error (Too_few_processors { m; need = 2 })
+  else if scale < 1 then Error (Bad_scale scale)
+  else begin
+    let rec check i = function
+      | [] -> Ok ()
+      | (size, req) :: rest ->
+          if size < 1 then Error (Nonpositive_size { job = i; size })
+          else if req < 1 then Error (Nonpositive_req { job = i; req })
+          else if size > max_int / req then
+            Error (Overflow (Printf.sprintf "job %d: p_j·r_j = %d·%d exceeds max_int" i size req))
+          else check (i + 1) rest
+    in
+    match check 0 specs with
+    | Error _ as e -> e
+    | Ok () -> validate ?window (create ~m ~scale specs)
+  end
+
+let of_floats_checked ?window ~m ~scale specs =
+  let open Robust.Failure in
+  let rec quantize i acc = function
+    | [] -> Ok (List.rev acc)
+    | (size, f) :: rest ->
+        if not (Float.is_finite f) then Error (Not_finite { job = i; value = f })
+        else if f <= 0.0 then
+          (* the reason carries quantized units; a non-positive share is
+             reported as 0 units (or min_int-safe floor would be noise) *)
+          Error (Nonpositive_req { job = i; req = 0 })
+        else
+          let units = max 1 (int_of_float (Float.round (f *. float_of_int scale))) in
+          quantize (i + 1) ((size, units) :: acc) rest
+  in
+  if scale < 1 then Error (Bad_scale scale)
+  else
+    match quantize 0 [] specs with
+    | Error _ as e -> e
+    | Ok q -> create_checked ?window ~m ~scale q
+
+let of_string_checked ?window str =
+  match parse_text str with
+  | Ok (m, scale, specs) -> create_checked ?window ~m ~scale specs
+  | Error msg -> Error (Robust.Failure.Malformed msg)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>instance m=%d scale=%d n=%d@," t.m t.scale (n t);

@@ -58,4 +58,34 @@ val to_string : t -> string
 val of_string : string -> t
 (** Raises [Failure] on malformed input. *)
 
+(** {1 Strict validation}
+
+    [Result]-returning entry-point validators (doc/ROBUSTNESS.md): the
+    CLI, the bench harness, and the batch engine route untrusted input
+    through these instead of catching [Invalid_argument] from the raising
+    constructors. With [~window:true] they additionally require [m >= 3],
+    the precondition of the window algorithm's Theorem 3.3 guarantee. All
+    of them guard the Equation (1) lower-bound quantities ([Σ p_j],
+    [Σ s_j = Σ p_j·r_j], [Σ r_j]) against [int] overflow, so a huge
+    [p_j ≈ max_int/2] is rejected as [Overflow] instead of producing a
+    silently negative bound. *)
+
+val validate : ?window:bool -> t -> (t, Robust.Failure.invalid) result
+(** Check a constructed instance (constructors already enforce positive
+    sizes/requirements; this adds the window precondition and the
+    overflow guards). *)
+
+val create_checked :
+  ?window:bool -> m:int -> scale:int -> (int * int) list -> (t, Robust.Failure.invalid) result
+(** {!create} with every [Invalid_argument] turned into a structured
+    reason, plus {!validate}. *)
+
+val of_floats_checked :
+  ?window:bool -> m:int -> scale:int -> (int * float) list -> (t, Robust.Failure.invalid) result
+(** {!of_floats} with NaN / infinite shares rejected as [Not_finite]
+    and non-positive shares as [Nonpositive_req]. *)
+
+val of_string_checked : ?window:bool -> string -> (t, Robust.Failure.invalid) result
+(** {!of_string} with parse failures as [Malformed]. *)
+
 val pp : Format.formatter -> t -> unit

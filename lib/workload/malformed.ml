@@ -1,0 +1,114 @@
+(* Seeded generators of malformed instance descriptions, paired with the
+   Robust.Failure.invalid class the strict validators must reject them
+   with. The test suite wraps [sample] in a qcheck generator over seeds;
+   keeping the drawing logic here (on Prelude.Rng, like Sos_gen) means
+   the library carries no qcheck dependency and a failing seed replays
+   exactly. *)
+
+module Rng = Prelude.Rng
+module F = Robust.Failure
+
+type case =
+  | Ints of { window : bool; m : int; scale : int; specs : (int * int) list }
+  | Floats of { m : int; scale : int; shares : (int * float) list }
+
+type expect =
+  | Nonpositive_req
+  | Nonpositive_size
+  | Too_few_processors
+  | Bad_scale
+  | Not_finite
+  | Overflow
+
+let expect_name = function
+  | Nonpositive_req -> "nonpositive-req"
+  | Nonpositive_size -> "nonpositive-size"
+  | Too_few_processors -> "too-few-processors"
+  | Bad_scale -> "bad-scale"
+  | Not_finite -> "not-finite"
+  | Overflow -> "overflow"
+
+let matches expect (reason : F.invalid) =
+  match (expect, reason) with
+  | Nonpositive_req, F.Nonpositive_req _ -> true
+  | Nonpositive_size, F.Nonpositive_size _ -> true
+  | Too_few_processors, F.Too_few_processors _ -> true
+  | Bad_scale, F.Bad_scale _ -> true
+  | Not_finite, F.Not_finite _ -> true
+  | Overflow, F.Overflow _ -> true
+  | _ -> false
+
+(* A small well-formed spec list the corruptions start from, so rejection
+   is attributable to the one planted flaw. *)
+let base_specs rng =
+  let n = Rng.int_in rng 1 8 in
+  List.init n (fun _ -> (Rng.int_in rng 1 10, Rng.int_in rng 1 64))
+
+let plant rng specs bad =
+  let specs = Array.of_list specs in
+  specs.(Rng.int_in rng 0 (Array.length specs - 1)) <- bad specs;
+  Array.to_list specs
+
+let sample rng =
+  let m = Rng.int_in rng 3 12 in
+  let scale = Rng.int_in rng 8 256 in
+  match Rng.int_in rng 0 5 with
+  | 0 ->
+      let specs =
+        plant rng (base_specs rng) (fun a ->
+            (fst a.(0), Rng.int_in rng (-5) 0))
+      in
+      (Nonpositive_req, Ints { window = false; m; scale; specs })
+  | 1 ->
+      let specs =
+        plant rng (base_specs rng) (fun a ->
+            (Rng.int_in rng (-5) 0, snd a.(0)))
+      in
+      (Nonpositive_size, Ints { window = false; m; scale; specs })
+  | 2 ->
+      (* m < 3 violates the window algorithm's Theorem 3.3 precondition
+         (m < 2 is rejected by every constructor). *)
+      let m = Rng.int_in rng 0 2 in
+      (Too_few_processors, Ints { window = true; m; scale; specs = base_specs rng })
+  | 3 ->
+      let scale = Rng.int_in rng (-3) 0 in
+      (Bad_scale, Ints { window = false; m; scale; specs = base_specs rng })
+  | 4 ->
+      let bad =
+        match Rng.int_in rng 0 2 with
+        | 0 -> Float.nan
+        | 1 -> Float.infinity
+        | _ -> Float.neg_infinity
+      in
+      let shares =
+        let n = Rng.int_in rng 1 6 in
+        let at = Rng.int_in rng 0 (n - 1) in
+        List.init n (fun i ->
+            (Rng.int_in rng 1 10, if i = at then bad else Rng.float rng 1.0 +. 0.01))
+      in
+      (Not_finite, Floats { m; scale; shares })
+  | _ ->
+      (* Huge p_j: either one job whose p_j·r_j wraps, or two jobs whose
+         Σ p_j ≈ max_int overflows the volume sum — both must surface as
+         Overflow rather than a silently negative Equation (1) bound. *)
+      let specs =
+        if Rng.bool rng then [ ((max_int / 2) + 1, 2) ]
+        else [ ((max_int / 2) + 1, 1); ((max_int / 2) + 1, 1) ]
+      in
+      (Overflow, Ints { window = false; m; scale; specs })
+
+let run = function
+  | Ints { window; m; scale; specs } ->
+      Sos.Instance.create_checked ~window ~m ~scale specs
+  | Floats { m; scale; shares } ->
+      Sos.Instance.of_floats_checked ~m ~scale shares
+
+let describe = function
+  | Ints { window; m; scale; specs } ->
+      Printf.sprintf "ints window=%b m=%d scale=%d specs=[%s]" window m scale
+        (String.concat "; "
+           (List.map (fun (p, r) -> Printf.sprintf "%d,%d" p r) specs))
+  | Floats { m; scale; shares } ->
+      Printf.sprintf "floats m=%d scale=%d shares=[%s]" m scale
+        (String.concat "; "
+           (List.map (fun (p, f) -> Printf.sprintf "%d,%h" p f) shares))

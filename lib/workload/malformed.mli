@@ -1,0 +1,34 @@
+(** Seeded malformed-instance generators for the validator tests
+    (doc/ROBUSTNESS.md). Each draw pairs a corrupted instance description
+    with the {!Robust.Failure.invalid} class the strict constructors must
+    reject it with. *)
+
+type case =
+  | Ints of { window : bool; m : int; scale : int; specs : (int * int) list }
+      (** Routed through {!Sos.Instance.create_checked}. *)
+  | Floats of { m : int; scale : int; shares : (int * float) list }
+      (** Routed through {!Sos.Instance.of_floats_checked}. *)
+
+type expect =
+  | Nonpositive_req
+  | Nonpositive_size
+  | Too_few_processors
+  | Bad_scale
+  | Not_finite
+  | Overflow
+
+val sample : Prelude.Rng.t -> expect * case
+(** Draw one malformed case: non-positive [r_j]/[p_j], [m < 3] under the
+    window precondition, non-positive scale, NaN/infinite float shares,
+    or [p_j] huge enough to overflow the Equation (1) sums. *)
+
+val run : case -> (Sos.Instance.t, Robust.Failure.invalid) result
+(** Feed the case to the matching checked constructor. *)
+
+val matches : expect -> Robust.Failure.invalid -> bool
+(** Does the rejection reason carry the expected class? *)
+
+val expect_name : expect -> string
+
+val describe : case -> string
+(** One-line rendering for counterexample reports. *)

@@ -1,0 +1,462 @@
+(* Robustness layer: the failure taxonomy, strict validators, cancel
+   tokens, checkpoint journal, seeded chaos injection, and the batch
+   engine's retry/deadline/cancel semantics. The central properties are
+   (1) malformed input is rejected with the right structured reason,
+   never a stringified exception, and (2) every resilience feature
+   preserves the batch determinism contract at any domain count.
+
+   $SOS_CHAOS (an integer >= 1, set by the CI chaos leg) scales up the
+   batch sizes of the fault-injection tests. *)
+
+module Rng = Prelude.Rng
+module F = Robust.Failure
+module Batch = Engine.Batch
+
+let intensity =
+  match Sys.getenv_opt "SOS_CHAOS" with
+  | Some s -> (match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
+  | None -> 1
+
+let with_chaos rules f =
+  Robust.Chaos.arm_rules ~seed:0x5eed rules;
+  Fun.protect ~finally:Robust.Chaos.disarm f
+
+let class_name_of (e : Batch.error) = F.class_name e.failure
+
+(* ------------------------------------------------------------ validators *)
+
+let test_malformed_rejected =
+  Helpers.qcheck ~count:300 "strict validators reject malformed instances"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let expect, case = Workload.Malformed.sample (Rng.create (seed + 1)) in
+      match Workload.Malformed.run case with
+      | Ok _ ->
+          QCheck.Test.fail_reportf "accepted %s (expected %s)"
+            (Workload.Malformed.describe case)
+            (Workload.Malformed.expect_name expect)
+      | Error reason ->
+          if not (Workload.Malformed.matches expect reason) then
+            QCheck.Test.fail_reportf "%s rejected as %S, expected class %s"
+              (Workload.Malformed.describe case)
+              (F.invalid_to_string reason)
+              (Workload.Malformed.expect_name expect)
+          else true)
+
+let test_overflow_guard () =
+  (* Two jobs of p_j ≈ max_int/2 overflow Σ p_j; the Equation (1) lower
+     bound must be a structured Overflow, never silently negative. *)
+  let huge = (max_int / 2) + 1 in
+  let inst = Sos.Instance.create ~m:4 ~scale:10 [ (huge, 1); (huge, 1) ] in
+  (match Sos.Instance.validate inst with
+  | Error (F.Overflow _) -> ()
+  | Error r -> Alcotest.failf "wrong reason: %s" (F.invalid_to_string r)
+  | Ok _ -> Alcotest.fail "validate accepted an overflowing instance");
+  (match Sos.Bounds.lower_bound_checked inst with
+  | Error (F.Overflow _) -> ()
+  | Error r -> Alcotest.failf "wrong reason: %s" (F.invalid_to_string r)
+  | Ok lb -> Alcotest.failf "lower_bound_checked returned %d" lb);
+  (match Sos.Bounds.lower_bound inst with
+  | exception F.Invalid (F.Overflow _) -> ()
+  | lb -> Alcotest.failf "lower_bound returned %d instead of raising" lb);
+  (* One job whose p_j·r_j wraps is caught per-job by create_checked. *)
+  (match Sos.Instance.create_checked ~m:4 ~scale:10 [ (huge, 2) ] with
+  | Error (F.Overflow _) -> ()
+  | Error r -> Alcotest.failf "wrong reason: %s" (F.invalid_to_string r)
+  | Ok _ -> Alcotest.fail "create_checked accepted p_j*r_j overflow");
+  (* A merely large but in-range instance still validates and has a
+     positive bound. *)
+  let ok = Sos.Instance.create ~m:4 ~scale:10 [ (max_int / 4, 1); (1000, 3) ] in
+  (match Sos.Instance.validate ok with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "rejected in-range instance: %s" (F.invalid_to_string r));
+  Alcotest.(check bool) "in-range bound positive" true (Sos.Bounds.lower_bound ok > 0)
+
+let test_checked_constructors () =
+  (match Sos.Instance.of_floats_checked ~m:4 ~scale:100 [ (2, Float.nan) ] with
+  | Error (F.Not_finite { job = 0; _ }) -> ()
+  | _ -> Alcotest.fail "NaN share not rejected as Not_finite");
+  (match Sos.Instance.of_floats_checked ~m:4 ~scale:100 [ (2, 0.5); (1, -3.0) ] with
+  | Error (F.Nonpositive_req { job = 1; _ }) -> ()
+  | _ -> Alcotest.fail "negative share not rejected as Nonpositive_req");
+  (match Sos.Instance.of_string_checked "not an instance" with
+  | Error (F.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage text not rejected as Malformed");
+  (match Sos.Instance.create_checked ~m:1 ~scale:10 [ (1, 1) ] with
+  | Error (F.Too_few_processors { need = 2; _ }) -> ()
+  | _ -> Alcotest.fail "m=1 not rejected");
+  (match Sos.Instance.create_checked ~window:true ~m:2 ~scale:10 [ (1, 1) ] with
+  | Error (F.Too_few_processors { need = 3; _ }) -> ()
+  | _ -> Alcotest.fail "m=2 under window not rejected with need=3");
+  (match Sos.Instance.create_checked ~m:4 ~scale:0 [ (1, 1) ] with
+  | Error (F.Bad_scale 0) -> ()
+  | _ -> Alcotest.fail "scale=0 not rejected");
+  (* The window check is an entry-point policy, not structural: the same
+     m=2 instance is fine without it. *)
+  match Sos.Instance.create_checked ~m:2 ~scale:10 [ (1, 1) ] with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "m=2 rejected without window: %s" (F.invalid_to_string r)
+
+(* -------------------------------------------------------------- create3 *)
+
+let test_rng_create3 () =
+  let a = Rng.create3 1 2 3 and b = Rng.create3 1 2 3 in
+  Alcotest.(check bool) "same triple, same stream" true (Rng.bits64 a = Rng.bits64 b);
+  let seen = Hashtbl.create 256 in
+  for base = 0 to 4 do
+    for idx = 0 to 4 do
+      for att = 0 to 4 do
+        let v = Rng.bits64 (Rng.create3 base idx att) in
+        Alcotest.(check bool)
+          (Printf.sprintf "triple (%d,%d,%d) collides" base idx att)
+          false (Hashtbl.mem seen v);
+        Hashtbl.replace seen v ()
+      done
+    done
+  done
+
+(* ------------------------------------------------------ cancel + context *)
+
+let test_cancel_tokens () =
+  let t = Robust.Cancel.create () in
+  Alcotest.(check bool) "fresh token not cancelled" false (Robust.Cancel.cancelled t);
+  Robust.Cancel.check t;
+  Robust.Cancel.cancel t;
+  Alcotest.(check bool) "cancelled after cancel" true (Robust.Cancel.cancelled t);
+  (match Robust.Cancel.check t with
+  | exception F.Cancel_requested -> ()
+  | () -> Alcotest.fail "check did not raise after cancel");
+  (* Child observes an ancestor's cancellation; cancelling a child leaves
+     the parent alone. *)
+  let parent = Robust.Cancel.create () in
+  let child = Robust.Cancel.create ~parent () in
+  Robust.Cancel.cancel parent;
+  Alcotest.(check bool) "child sees parent cancel" true (Robust.Cancel.cancelled child);
+  let p2 = Robust.Cancel.create () in
+  let c2 = Robust.Cancel.create ~parent:p2 () in
+  Robust.Cancel.cancel c2;
+  Alcotest.(check bool) "parent unaffected by child" false (Robust.Cancel.cancelled p2);
+  (* Deadlines are observed by check, with the timeout in the exception. *)
+  let d = Robust.Cancel.create ~timeout:0.01 () in
+  Robust.Cancel.check d;
+  Unix.sleepf 0.02;
+  (match Robust.Cancel.check d with
+  | exception F.Deadline t -> Alcotest.(check (float 1e-9)) "timeout carried" 0.01 t
+  | () -> Alcotest.fail "deadline did not fire");
+  match Robust.Cancel.create ~timeout:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "timeout=0 accepted"
+
+let test_context_scope () =
+  Alcotest.(check int) "index outside scope" (-1) (Robust.Context.index ());
+  Alcotest.(check int) "attempt outside scope" 0 (Robust.Context.attempt ());
+  Robust.Context.poll ();
+  let cancel = Robust.Cancel.create () in
+  let ctx = Robust.Context.make ~index:7 ~attempt:2 ~cancel in
+  Robust.Context.with_ctx ctx (fun () ->
+      Alcotest.(check int) "index inside" 7 (Robust.Context.index ());
+      Alcotest.(check int) "attempt inside" 2 (Robust.Context.attempt ());
+      Robust.Context.poll ();
+      let inner = Robust.Context.make ~index:9 ~attempt:0 ~cancel:Robust.Cancel.none in
+      Robust.Context.with_ctx inner (fun () ->
+          Alcotest.(check int) "nested index" 9 (Robust.Context.index ()));
+      Alcotest.(check int) "restored after nesting" 7 (Robust.Context.index ());
+      Robust.Cancel.cancel cancel;
+      match Robust.Context.poll () with
+      | exception F.Cancel_requested -> ()
+      | () -> Alcotest.fail "poll ignored a cancelled scope");
+  Alcotest.(check int) "restored outside" (-1) (Robust.Context.index ())
+
+(* -------------------------------------------------------------- journal *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "sosj" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_journal @@ fun path ->
+  let header = "sosj1 seed=7 algo=window specs=abc" in
+  let oc = Robust.Journal.create ~path ~header in
+  Robust.Journal.append oc ~index:0 ~payload:"0 ok bimodal makespan=12";
+  Robust.Journal.append oc ~index:2 ~payload:"2 error task-exn line 3: boom";
+  Out_channel.close oc;
+  (match Robust.Journal.load ~path ~header with
+  | Ok [ a; b ] ->
+      Alcotest.(check int) "first index" 0 a.Robust.Journal.index;
+      Alcotest.(check string) "first payload" "0 ok bimodal makespan=12" a.payload;
+      Alcotest.(check int) "second index" 2 b.index
+  | Ok l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+  | Error msg -> Alcotest.fail msg);
+  (* A different header (other seed/algo/specs) must be refused. *)
+  (match Robust.Journal.load ~path ~header:"sosj1 seed=8 algo=window specs=abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "header mismatch accepted");
+  (* Newlines in payloads would corrupt the line format. *)
+  let oc = Robust.Journal.reopen ~path in
+  (match Robust.Journal.append oc ~index:3 ~payload:"a\nb" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "newline payload accepted");
+  Out_channel.close oc
+
+let test_journal_torn_line () =
+  with_temp_journal @@ fun path ->
+  let header = "sosj1 seed=1 algo=window specs=x" in
+  let oc = Robust.Journal.create ~path ~header in
+  Robust.Journal.append oc ~index:0 ~payload:"first";
+  Robust.Journal.append oc ~index:1 ~payload:"second";
+  Out_channel.close oc;
+  (* Simulate a SIGKILL mid-append: a trailing half-entry with no
+     newline and a wrong digest. *)
+  let oc = Out_channel.open_gen [ Open_append; Open_text ] 0o644 path in
+  Out_channel.output_string oc "2 0123456789abcdef t";
+  Out_channel.close oc;
+  (match Robust.Journal.load ~path ~header with
+  | Ok entries ->
+      Alcotest.(check (list int)) "torn line skipped" [ 0; 1 ]
+        (List.map (fun (e : Robust.Journal.entry) -> e.index) entries)
+  | Error msg -> Alcotest.fail msg);
+  (* reopen truncates the torn tail, so the next append lands clean. *)
+  let oc = Robust.Journal.reopen ~path in
+  Robust.Journal.append oc ~index:2 ~payload:"third";
+  Out_channel.close oc;
+  match Robust.Journal.load ~path ~header with
+  | Ok entries ->
+      Alcotest.(check (list int)) "appended after torn tail" [ 0; 1; 2 ]
+        (List.map (fun (e : Robust.Journal.entry) -> e.index) entries)
+  | Error msg -> Alcotest.fail msg
+
+(* ----------------------------------------------------- batch resilience *)
+
+let test_retry_recovers () =
+  (* Tasks at the fail indices raise on attempts 0..1 (via the ambient
+     context); retries=2 reaches attempt 2 and must produce exactly the
+     clean run's results — at every domain count. *)
+  let n = 24 in
+  let fail_at i = i mod 5 = 1 in
+  let tasks =
+    Array.init n (fun i () ->
+        if fail_at i && Robust.Context.attempt () < 2 then failwith "flaky";
+        i * i)
+  in
+  let clean = Array.init n (fun i -> Ok (i * i)) in
+  List.iter
+    (fun domains ->
+      let got = Batch.map ~domains ~retries:2 tasks in
+      Alcotest.(check bool)
+        (Printf.sprintf "retried run equals clean run at %d domains" domains)
+        true
+        (got = clean))
+    [ 1; 2; 4 ];
+  (* With too few retries the error records every attempt made. *)
+  match Batch.map ~domains:2 ~retries:1 tasks with
+  | outcomes -> (
+      match outcomes.(1) with
+      | Error e ->
+          Alcotest.(check string) "class" "task-exn" (class_name_of e);
+          Alcotest.(check int) "attempts recorded" 2 e.Batch.attempts
+      | Ok _ -> Alcotest.fail "expected index 1 to fail with retries=1")
+
+let test_invalid_never_retried () =
+  let attempts_seen = Atomic.make 0 in
+  let tasks =
+    [|
+      (fun () ->
+        Atomic.incr attempts_seen;
+        raise (F.Invalid (F.Bad_scale 0)));
+    |]
+  in
+  match Batch.map ~domains:2 ~retries:5 tasks with
+  | [| Error e |] ->
+      Alcotest.(check string) "class" "invalid-instance" (class_name_of e);
+      Alcotest.(check int) "single attempt" 1 e.Batch.attempts;
+      Alcotest.(check int) "task ran once" 1 (Atomic.get attempts_seen)
+  | _ -> Alcotest.fail "expected one error"
+
+let test_task_deadline () =
+  (* A polling task that outlives its deadline fails with the deadline
+     class; one that finishes in time is untouched. *)
+  let tasks =
+    [|
+      (fun () ->
+        let stop = Unix.gettimeofday () +. 5.0 in
+        while Unix.gettimeofday () < stop do
+          Robust.Context.poll ();
+          Unix.sleepf 0.002
+        done;
+        0);
+      (fun () -> 41);
+    |]
+  in
+  match Batch.map ~domains:2 ~task_timeout:0.05 tasks with
+  | [| Error e; Ok 41 |] ->
+      Alcotest.(check string) "class" "deadline" (class_name_of e);
+      Alcotest.(check bool) "deadline is transient" true (F.transient e.Batch.failure)
+  | [| a; b |] ->
+      Alcotest.failf "unexpected outcomes: %s / %s"
+        (match a with Ok v -> string_of_int v | Error e -> class_name_of e)
+        (match b with Ok v -> string_of_int v | Error e -> class_name_of e)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_cancelled_batch () =
+  (* A token cancelled up front: every task fails Cancelled without its
+     body ever running, and the outcome is deterministic. *)
+  let ran = Atomic.make 0 in
+  let cancel = Robust.Cancel.create () in
+  Robust.Cancel.cancel cancel;
+  let tasks = Array.init 10 (fun i () -> Atomic.incr ran; i) in
+  let outcomes = Batch.map ~domains:3 ~cancel tasks in
+  Alcotest.(check int) "no task body ran" 0 (Atomic.get ran);
+  Array.iter
+    (function
+      | Error e -> Alcotest.(check string) "class" "cancelled" (class_name_of e)
+      | Ok _ -> Alcotest.fail "task succeeded under a cancelled token")
+    outcomes
+
+(* ---------------------------------------------------------------- chaos *)
+
+let test_chaos_parse () =
+  (match Robust.Chaos.parse "sos.fast.run@3,19,35:attempts=2; engine.pool.worker~0.25" with
+  | Ok [ (s1, Robust.Chaos.Fail_indices { indices = [ 3; 19; 35 ]; attempts = 2 });
+         (s2, Robust.Chaos.Fail_prob p) ] ->
+      Alcotest.(check string) "site 1" "sos.fast.run" s1;
+      Alcotest.(check string) "site 2" "engine.pool.worker" s2;
+      Alcotest.(check (float 1e-9)) "prob" 0.25 p
+  | Ok _ -> Alcotest.fail "parsed into unexpected rules"
+  | Error msg -> Alcotest.fail msg);
+  (match Robust.Chaos.parse "sos.fast.step+0.5~0.1" with
+  | Ok [ (_, Robust.Chaos.Delay { seconds; prob }) ] ->
+      Alcotest.(check (float 1e-9)) "seconds" 0.5 seconds;
+      Alcotest.(check (float 1e-9)) "prob" 0.1 prob
+  | Ok _ -> Alcotest.fail "parsed into unexpected rules"
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Robust.Chaos.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad)
+    [ "siteonly"; "s@x"; "s~2.0"; "s@1:attempts=0"; "s+abc" ];
+  Alcotest.(check bool) "disarmed by default" false (Robust.Chaos.armed ())
+
+let test_chaos_indices_deterministic () =
+  (* Index-targeted injection at the batch task site: exactly the listed
+     indices fail, identically at every domain count. *)
+  let n = 16 * intensity in
+  let targets = [ 1; 5; 11 ] in
+  with_chaos [ ("engine.batch.task", Robust.Chaos.Fail_indices { indices = targets; attempts = max_int }) ]
+  @@ fun () ->
+  let tasks = Array.init n (fun i () -> i + 100) in
+  let reference = Batch.map ~domains:1 tasks in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          Alcotest.(check bool) "untargeted ok" false (List.mem i targets);
+          Alcotest.(check int) "value" (i + 100) v
+      | Error e ->
+          Alcotest.(check bool) "targeted error" true (List.mem i targets);
+          Alcotest.(check string) "class" "task-exn" (class_name_of e))
+    reference;
+  List.iter
+    (fun domains ->
+      let got = Batch.map ~domains tasks in
+      let same =
+        Array.for_all2
+          (fun a b ->
+            match (a, b) with
+            | Ok x, Ok y -> x = y
+            | Error (e1 : Batch.error), Error e2 -> class_name_of e1 = class_name_of e2
+            | _ -> false)
+          got reference
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos pattern identical at %d domains" domains)
+        true same)
+    [ 2; 4 ]
+
+let test_chaos_prob_deterministic () =
+  (* Probabilistic in-scope draws are keyed by (seed, site, index,
+     attempt, hit) — so the error pattern is a pure function of the
+     configuration, not of the domain count. *)
+  let n = 32 * intensity in
+  let pattern domains =
+    with_chaos [ ("engine.batch.task", Robust.Chaos.Fail_prob 0.4) ] @@ fun () ->
+    Batch.map ~domains (Array.init n (fun i () -> i))
+    |> Array.map (function Ok _ -> 'o' | Error _ -> 'x')
+    |> Array.to_seq |> String.of_seq
+  in
+  let p1 = pattern 1 in
+  Alcotest.(check bool) "some injected" true (String.contains p1 'x');
+  Alcotest.(check bool) "some survived" true (String.contains p1 'o');
+  Alcotest.(check string) "pattern identical at 2 domains" p1 (pattern 2);
+  Alcotest.(check string) "pattern identical at 4 domains" p1 (pattern 4)
+
+let test_chaos_retry_recovers () =
+  (* attempts=1 injection + one retry: attempt 0 is killed, attempt 1
+     succeeds, and the batch equals a clean run. *)
+  let n = 12 * intensity in
+  let tasks = Array.init n (fun i () -> 3 * i) in
+  let clean = Array.init n (fun i -> Ok (3 * i)) in
+  with_chaos
+    [ ("engine.batch.task",
+       Robust.Chaos.Fail_indices { indices = [ 2; 7; 9 ]; attempts = 1 }) ]
+  @@ fun () ->
+  List.iter
+    (fun domains ->
+      let got = Batch.map ~domains ~retries:1 tasks in
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos+retry equals clean at %d domains" domains)
+        true (got = clean))
+    [ 1; 2; 4 ]
+
+let test_pool_survives_worker_deaths () =
+  (* Kill every worker the injector can (the last live worker refuses to
+     die): the batch still completes, in order, and the pool survives a
+     second batch. *)
+  let n = 50 * intensity in
+  with_chaos [ ("engine.pool.worker", Robust.Chaos.Fail_prob 1.0) ] @@ fun () ->
+  Engine.Pool.with_pool ~domains:4 (fun pool ->
+      let out = Batch.map_pool pool (Array.init n (fun i () -> i * 2)) in
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "result %d ok and ordered" i)
+            true (r = Ok (i * 2)))
+        out;
+      let again = Batch.map_pool pool (Array.init 10 (fun i () -> i + 1)) in
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool) "pool usable after worker deaths" true (r = Ok (i + 1)))
+        again)
+
+let test_pool_down_after_shutdown () =
+  let pool = Engine.Pool.create ~domains:2 () in
+  let ok = Batch.map_pool pool [| (fun () -> 1) |] in
+  Alcotest.(check bool) "live pool works" true (ok = [| Ok 1 |]);
+  Engine.Pool.shutdown pool;
+  match Batch.map_pool pool [| (fun () -> 2) |] with
+  | exception F.Pool_down _ -> ()
+  | [| Error e |] when class_name_of e = "pool-crashed" -> ()
+  | _ -> Alcotest.fail "submit after shutdown not surfaced as pool-crashed"
+
+let suite =
+  ( "robust",
+    [
+      test_malformed_rejected;
+      Alcotest.test_case "Equation (1) overflow guard" `Quick test_overflow_guard;
+      Alcotest.test_case "checked constructors" `Quick test_checked_constructors;
+      Alcotest.test_case "rng create3" `Quick test_rng_create3;
+      Alcotest.test_case "cancel tokens + deadlines" `Quick test_cancel_tokens;
+      Alcotest.test_case "ambient context scope" `Quick test_context_scope;
+      Alcotest.test_case "journal roundtrip + header binding" `Quick test_journal_roundtrip;
+      Alcotest.test_case "journal torn-line recovery" `Quick test_journal_torn_line;
+      Alcotest.test_case "retry recovers deterministically" `Quick test_retry_recovers;
+      Alcotest.test_case "invalid input never retried" `Quick test_invalid_never_retried;
+      Alcotest.test_case "per-task deadline" `Quick test_task_deadline;
+      Alcotest.test_case "cancelled batch runs nothing" `Quick test_cancelled_batch;
+      Alcotest.test_case "chaos spec grammar" `Quick test_chaos_parse;
+      Alcotest.test_case "chaos index targeting deterministic" `Quick test_chaos_indices_deterministic;
+      Alcotest.test_case "chaos probabilistic draws deterministic" `Quick test_chaos_prob_deterministic;
+      Alcotest.test_case "chaos + retry equals clean run" `Quick test_chaos_retry_recovers;
+      Alcotest.test_case "pool survives injected worker deaths" `Quick test_pool_survives_worker_deaths;
+      Alcotest.test_case "pool-down after shutdown" `Quick test_pool_down_after_shutdown;
+    ] )

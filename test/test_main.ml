@@ -17,4 +17,5 @@ let () =
       Suite_scale.suite;
       Suite_engine.suite;
       Suite_obs.suite;
+      Suite_robust.suite;
     ]
