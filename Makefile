@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean outputs
+.PHONY: all build test lint bench examples doc clean outputs
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Repo-invariant static analysis (rules R1-R7, doc/LINT.md); CI runs this
+# on both compiler versions and fails on any unsuppressed hit or on a
+# suppression-count increase versus tools/lint/allow_baseline.txt.
+lint:
+	dune build @lint
 
 bench:
 	dune exec bench/main.exe

@@ -65,28 +65,31 @@ let t7_bechamel () =
   in
   let clock = Measure.label Instance.monotonic_clock in
   let tbl = Hashtbl.find results clock in
-  Hashtbl.iter
-    (fun name ols ->
-      let ns =
-        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
-      in
+  (* Sort rows by benchmark name before they ever reach the table:
+     bechamel hands results back as a Hashtbl whose iteration order is
+     unspecified (lint rule R5). *)
+  let rows =
+    (Hashtbl.fold
+    [@sos.allow "R5: the fold only gathers (name, estimate) pairs; they are sorted by name \
+                 below before any row is rendered"])
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+        in
+        (name, ns) :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
       let cell =
         if Float.is_nan ns then "n/a"
         else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
         else Printf.sprintf "%8.3f us" (ns /. 1e3)
       in
       Table.add_row t [ name; cell ])
-    tbl;
-  (* Hashtbl iteration order is arbitrary; re-render sorted by name. *)
-  let rendered = Table.render t in
-  let lines = String.split_on_char '\n' rendered in
-  (match lines with
-  | header :: rule :: rows ->
-      print_string (header ^ "\n" ^ rule ^ "\n");
-      rows |> List.filter (fun l -> String.trim l <> "") |> List.sort compare
-      |> List.iter (fun l -> print_string (l ^ "\n"))
-  | _ -> print_string rendered);
-  print_newline ()
+    rows;
+  Table.print t
 
 let t7_scaling () =
   section

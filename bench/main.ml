@@ -63,6 +63,6 @@ let () =
     "Sharing is Caring (SPAA 2017) — experiment harness\n\
      paper: Kling, Maecker, Riechers, Skopalik. All bounds refer to DESIGN.md /\n\
      EXPERIMENTS.md; every table is deterministic (fixed seeds).\n";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Prelude.Clock.now () in
   List.iter (fun (_, _, run) -> run ()) selected;
-  Printf.printf "\ntotal: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal: %.1f s\n" (Prelude.Clock.now () -. t0)

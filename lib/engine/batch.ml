@@ -56,7 +56,9 @@ let never_ran index =
    (base seed, index, Robust.Context.attempt ()) — e.g. Rng.create3 —
    reproduces the same attempt sequence at any domain count. *)
 let protect ?(retries = 0) ?task_timeout ?cancel index task =
-  if retries < 0 then invalid_arg "Engine.Batch: retries < 0";
+  if retries < 0 then
+    invalid_arg "Engine.Batch: retries < 0"
+    [@sos.allow "R6: caller-side argument contract, rejected before the first attempt"];
   let rec go attempt =
     if match cancel with Some c -> Robust.Cancel.cancelled c | None -> false then begin
       record_failure Robust.Failure.Cancelled;

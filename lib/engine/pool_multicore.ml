@@ -1,6 +1,12 @@
 (* Domain.spawn worker pool (OCaml >= 5.0). See pool.mli; the 4.x build
    substitutes pool_sequential.ml for this file. *)
 
+[@@@sos.allow
+  "R3: the bounded task queue must block (producers on not_full, idle workers on not_empty); \
+   Condition has no Atomic replacement short of burning a core spinning. This file is the one \
+   sanctioned Mutex user — determinism is preserved because results are emitted by submission \
+   index, never completion order (doc/LINT.md)."]
+
 type task = unit -> unit
 
 type t = {
@@ -75,7 +81,11 @@ let create ?domains () =
     match domains with
     | None -> recommended_domain_count ()
     | Some d when d >= 1 -> d
-    | Some d -> invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+    | Some d ->
+        (invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+        [@sos.allow
+          "R6: construction-time argument contract, outside any solve loop; suite_engine pins \
+           the Invalid_argument behaviour"])
   in
   let t =
     {
@@ -130,7 +140,9 @@ let submit t task =
   Mutex.unlock t.lock
 
 let run_ordered t ?(chunk = 1) n ~run ~emit =
-  if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  if n < 0 then
+    invalid_arg "Engine.Pool.run_ordered: n < 0"
+    [@sos.allow "R6: entry-point argument contract, checked before any task is queued"];
   if t.stop then raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered after shutdown");
   if n = 0 then ()
   else if t.workers = [] then

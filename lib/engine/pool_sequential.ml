@@ -17,7 +17,11 @@ let create ?domains () =
     match domains with
     | None -> 1
     | Some d when d >= 1 -> d
-    | Some d -> invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+    | Some d ->
+        (invalid_arg (Printf.sprintf "Engine.Pool.create: domains = %d" d)
+        [@sos.allow
+          "R6: construction-time argument contract, outside any solve loop; suite_engine pins \
+           the Invalid_argument behaviour"])
   in
   { domains; stop = false }
 
@@ -25,7 +29,9 @@ let domains t = t.domains
 
 let run_ordered t ?chunk n ~run ~emit =
   ignore chunk;
-  if n < 0 then invalid_arg "Engine.Pool.run_ordered: n < 0";
+  if n < 0 then
+    invalid_arg "Engine.Pool.run_ordered: n < 0"
+    [@sos.allow "R6: entry-point argument contract, checked before any task runs"];
   if t.stop then raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered after shutdown");
   for i = 0 to n - 1 do
     Obs.Metrics.incr c_tasks;

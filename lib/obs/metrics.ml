@@ -106,7 +106,9 @@ let time t f =
     Fun.protect ~finally:(fun () -> observe t (Prelude.Clock.now () -. t0)) f
   end
 
-let reset () =
+let[@sos.allow
+     "R5: zeroing every registered cell is order-insensitive — no output or digest is derived \
+      from the iteration"] reset () =
   acquire reg_lock;
   Hashtbl.iter
     (fun _ e ->
@@ -125,7 +127,9 @@ type snapshot_class = [ `Deterministic | `Runtime | `All ]
 
 (* A consistent view: entries sorted by name, timer samples copied out
    under their locks so a concurrent observe can't tear the percentiles. *)
-let collect cls =
+let[@sos.allow
+     "R5: the fold only gathers entries; every snapshot sorts them by name (List.sort below) \
+      before anything is emitted"] collect cls =
   acquire reg_lock;
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) registry [] in
   release reg_lock;

@@ -64,7 +64,9 @@ let render t =
   List.iter (function Sep -> rule () | Cells cells -> line cells) rows;
   Buffer.contents buf
 
-let print t =
+let[@sos.allow
+     "R4: Table.print is the one explicit stdout sink in prelude, called only by bench/ and \
+      examples/ whose stdout IS the result; library emitters use render"] print t =
   print_string (render t);
   print_newline ()
 

@@ -9,7 +9,11 @@ let none = { flag = Atomic.make false; timeout = None; deadline = None; parent =
 
 let create ?timeout ?parent () =
   (match timeout with
-  | Some s when s <= 0.0 -> invalid_arg "Robust.Cancel.create: timeout <= 0"
+  | Some s when s <= 0.0 ->
+      (invalid_arg "Robust.Cancel.create: timeout <= 0"
+      [@sos.allow
+        "R6: token-construction argument contract; the Failure taxonomy describes task \
+         outcomes, not misuse of the resilience API itself"])
   | _ -> ());
   let deadline = Option.map (fun s -> Prelude.Clock.now () +. s) timeout in
   { flag = Atomic.make false; timeout; deadline; parent }

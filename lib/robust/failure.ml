@@ -18,6 +18,9 @@ exception Invalid of invalid
 exception Deadline of float
 exception Cancel_requested
 exception Pool_down of string
+exception Internal of string
+
+let internal_error fmt = Printf.ksprintf (fun s -> raise (Internal s)) fmt
 
 let invalid_to_string = function
   | Nonpositive_req { job; req } ->
@@ -75,4 +78,5 @@ let () =
     | Deadline timeout -> Some (Printf.sprintf "deadline exceeded (%gs)" timeout)
     | Cancel_requested -> Some "cancelled"
     | Pool_down what -> Some ("pool crashed: " ^ what)
+    | Internal what -> Some ("internal invariant violated: " ^ what)
     | _ -> None)

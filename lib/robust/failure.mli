@@ -51,6 +51,17 @@ exception Deadline of float
 exception Cancel_requested
 exception Pool_down of string
 
+exception Internal of string
+(** A solver invariant broke (fuel exhausted, no progress, budget
+    overrun): always a bug, never the workload's fault. Classified as
+    {!Task_exn} by {!of_exn} so the batch engine reports it per-task
+    like any other crash. Raise via {!internal_error}; hot paths must
+    not use bare [failwith] (lint rule R6, doc/LINT.md). *)
+
+val internal_error : ('a, unit, string, 'b) format4 -> 'a
+(** [internal_error fmt ...] raises {!Internal} with the formatted
+    message. *)
+
 val of_exn : exn -> Printexc.raw_backtrace -> t
 (** Classify a caught exception (pair it with
     [Printexc.get_raw_backtrace ()] taken immediately at the catch). *)

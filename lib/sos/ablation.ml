@@ -7,7 +7,7 @@ let generic_run inst ~window_of ~assign =
   let fuel = ref (Instance.total_requirement inst + 1) in
   while not (State.all_finished st) do
     decr fuel;
-    if !fuel < 0 then failwith "Ablation: no progress (internal error)";
+    if !fuel < 0 then Robust.Failure.internal_error "Ablation: no progress";
     let w = window_of st !carried in
     let allocs, w' = assign st w in
     let finished =

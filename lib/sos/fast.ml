@@ -107,7 +107,7 @@ let run_count ?(variant = `Fixed) inst =
        loop simulates O(1) steps plus at most one q-event, so iterations are
        O(n); anything near this generous budget is a bug, not workload. *)
     if !iters > (100 * Instance.n inst) + 1000 then
-      failwith "Fast.run: iteration budget exceeded (internal error)";
+      Robust.Failure.internal_error "Fast.run: iteration budget exceeded";
     let w = Window.compute ~variant st !carried ~size ~budget in
     let outcome = Assign.compute ~scratch st w ~budget ~extra:true in
     let finished_jobs = Assign.apply st outcome in

@@ -19,7 +19,7 @@ let run_traced ?(check = false) ?(variant = `Fixed) inst =
   let fuel = ref (Instance.total_requirement inst + 1) in
   while not (State.all_finished st) do
     decr fuel;
-    if !fuel < 0 then failwith "Listing1.run: no progress (internal error)";
+    if !fuel < 0 then Robust.Failure.internal_error "Listing1.run: no progress";
     let w = Window.compute ~variant st !carried ~size ~budget in
     if check then assert (Window.is_effectively_maximal st w ~k:size ~budget);
     let members = Window.members st w in

@@ -8,10 +8,13 @@ type result = {
 }
 
 let to_instance ~m ~scale arrivals =
-  List.iter
-    (fun a ->
-      if a.release < 0 then invalid_arg "Online.run: negative release";
-      if a.size <= 0 || a.req <= 0 then invalid_arg "Online.run: malformed job")
+  List.iteri
+    (fun i a ->
+      let open Robust.Failure in
+      if a.release < 0 then
+        raise (Invalid (Malformed (Printf.sprintf "job %d: negative release (got %d)" i a.release)));
+      if a.size <= 0 then raise (Invalid (Nonpositive_size { job = i; size = a.size }));
+      if a.req <= 0 then raise (Invalid (Nonpositive_req { job = i; req = a.req })))
     arrivals;
   Instance.create ~m ~scale (List.map (fun a -> (a.size, a.req)) arrivals)
 
@@ -43,7 +46,7 @@ let run ~m ~scale arrivals =
   let fuel = ref (max_release + Instance.total_requirement inst + n + 4) in
   while !pending <> [] || !active <> [] do
     decr fuel;
-    if !fuel < 0 then failwith "Online.run: no progress (internal error)";
+    if !fuel < 0 then Robust.Failure.internal_error "Online.run: no progress";
     (* Admit released jobs, smallest requirement first, while the active
        set keeps property (b): everything except the largest member must
        fit below the full resource. *)

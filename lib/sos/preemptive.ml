@@ -10,7 +10,7 @@ let run ?(fuel = 2_000_000) inst =
   let fuel = ref fuel in
   while !alive <> [] do
     decr fuel;
-    if !fuel < 0 then failwith "Preemptive.run: fuel exhausted";
+    if !fuel < 0 then Robust.Failure.internal_error "Preemptive.run: fuel exhausted";
     (* Jobs by descending remaining step count (ties: larger requirement
        first, to drain the resource-hungry ones early). *)
     let order =
@@ -37,7 +37,7 @@ let run ?(fuel = 2_000_000) inst =
           { Schedule.job = j; assigned = give; consumed = give })
         shares
     in
-    if allocs = [] then failwith "Preemptive.run: no progress (internal error)";
+    if allocs = [] then Robust.Failure.internal_error "Preemptive.run: no progress";
     steps := { Schedule.allocs; repeat = 1 } :: !steps;
     alive := List.filter (fun j -> s.(j) > 0) !alive
   done;

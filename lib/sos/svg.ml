@@ -63,8 +63,13 @@ let render ?(width = 960) ?(row_height = 22) ?(validate = true) ?title sched =
          "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f4f4f4\"/>\n"
          label_w y chart_w (row_height - 2))
   done;
-  Hashtbl.iter
-    (fun j p ->
+  (* Emit bars in ascending job-id order: Hashtbl iteration order is
+     unspecified (lint rule R5) and the SVG must be byte-identical run to
+     run — it is diffed as a captured artifact. *)
+  let jobs = List.sort_uniq compare (List.map (fun (j, _, _) -> j) placements) in
+  List.iter
+    (fun j ->
+      let p = Hashtbl.find proc_of j in
       let t0 = Hashtbl.find start_of j in
       let t1 = Hashtbl.find last_of j in
       let x0 = x_of t0 and x1 = x_of (t1 + 1) in
@@ -79,7 +84,7 @@ let render ?(width = 960) ?(row_height = 22) ?(validate = true) ?title sched =
           (Printf.sprintf
              "<text x=\"%d\" y=\"%d\" fill=\"#000\">%d</text>\n"
              (x0 + 3) (y + row_height - 7) j))
-    proc_of;
+    jobs;
   (* Utilization strip: one rect per step-function segment, not per time
      step — both smaller output and O(|steps|) render time. *)
   let u = Schedule.utilization sched in

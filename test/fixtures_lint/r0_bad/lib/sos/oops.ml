@@ -1,0 +1,3 @@
+[@@@sos.allow "bogus payload with no rule id"]
+
+let unused = 1 [@sos.allow "R1: nothing to suppress here"]

@@ -1,0 +1,3 @@
+[@@@sos.allow "R1: fixture — floor-level suppression for the whole file"]
+
+let pick n = Random.int n

@@ -1,0 +1,2 @@
+(* fixture: R1 violation — stdlib Random global state in library code *)
+let pick n = Random.int n

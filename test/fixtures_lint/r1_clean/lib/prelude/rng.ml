@@ -1,0 +1,2 @@
+(* fixture: R1 scope — lib/prelude/rng.ml is the sanctioned wrapper *)
+let reseed () = Random.self_init ()

@@ -1,0 +1,3 @@
+(* fixture: R2 suppressed at the binding *)
+let[@sos.allow "R2: fixture — runtime-class observability sampling"] stamp () =
+  Unix.gettimeofday ()

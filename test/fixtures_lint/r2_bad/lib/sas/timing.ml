@@ -1,0 +1,2 @@
+(* fixture: R2 violation — wall-clock read outside Prelude.Clock *)
+let stamp () = Unix.gettimeofday ()

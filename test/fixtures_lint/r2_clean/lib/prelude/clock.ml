@@ -1,0 +1,2 @@
+(* fixture: R2 scope — lib/prelude/clock.ml is the chokepoint *)
+let now () = Unix.gettimeofday ()

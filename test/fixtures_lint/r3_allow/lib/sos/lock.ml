@@ -1,0 +1,2 @@
+(* fixture: R3 suppressed at the expression *)
+let lock = Mutex.create () [@sos.allow "R3: fixture — sanctioned blocking primitive"]

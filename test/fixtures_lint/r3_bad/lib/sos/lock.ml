@@ -1,0 +1,2 @@
+(* fixture: R3 violation — Mutex in a library *)
+let lock = Mutex.create ()

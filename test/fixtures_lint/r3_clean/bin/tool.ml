@@ -1,0 +1,2 @@
+(* fixture: R3 scope — executables may lock *)
+let lock = Mutex.create ()

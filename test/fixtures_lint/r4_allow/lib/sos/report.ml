@@ -1,0 +1,2 @@
+(* fixture: R4 suppressed at the binding *)
+let[@sos.allow "R4: fixture — explicit stdout sink"] show x = print_endline x

@@ -1,0 +1,2 @@
+(* fixture: R4 violation — stdout write from library code *)
+let show x = print_endline x

@@ -1,0 +1,2 @@
+(* fixture: R4 scope — executables own their stdout *)
+let show x = print_endline x

@@ -1,0 +1,2 @@
+(* fixture: R5 suppressed at the expression *)
+let dump f tbl = Hashtbl.iter f tbl [@sos.allow "R5: fixture — order-insensitive effect"]

@@ -1,0 +1,2 @@
+(* fixture: R5 violation — unordered Hashtbl iteration *)
+let dump f tbl = Hashtbl.iter f tbl

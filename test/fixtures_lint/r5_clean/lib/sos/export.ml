@@ -1,0 +1,2 @@
+(* fixture: R5 clean — point lookups have no iteration order *)
+let get tbl k = Hashtbl.find_opt tbl k

@@ -1,0 +1,3 @@
+(* fixture: R6 suppressed at the expression *)
+let check n =
+  if n < 0 then invalid_arg "n" [@sos.allow "R6: fixture — argument contract at the entry point"]

@@ -1,0 +1,3 @@
+(* fixture: R6 violations — bare failure raising on a hot path *)
+let run () = failwith "boom"
+let bail () = raise Exit

@@ -1,0 +1,2 @@
+(* fixture: R6 scope — analytics modules keep the stdlib contract *)
+let run () = failwith "boom"

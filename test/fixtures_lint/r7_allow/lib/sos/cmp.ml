@@ -1,0 +1,2 @@
+(* fixture: R7 suppressed at the binding *)
+let[@sos.allow "R7: fixture — operands proven nan-free"] close a b = a = (b *. 1.0)

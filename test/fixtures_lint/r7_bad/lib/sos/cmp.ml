@@ -1,0 +1,3 @@
+(* fixture: R7 violations — polymorphic compare on float-bearing operands *)
+let close a b = a = (b *. 1.0)
+let lo a b = min a (b +. 0.5)

@@ -1,0 +1,3 @@
+(* fixture: R7 clean — explicit float comparators, int polymorphic ok *)
+let close a b = Float.equal a b
+let eq (a : int) b = a = b

@@ -18,4 +18,5 @@ let () =
       Suite_engine.suite;
       Suite_obs.suite;
       Suite_robust.suite;
+      Suite_lint.suite;
     ]
