@@ -45,7 +45,14 @@ let () =
     | a :: rest -> strip_j (a :: acc) rest
   in
   let args = strip_j [] args in
-  let args = List.filter (fun a -> a <> "--" && a <> "--table" && a <> "--figure") args in
+  (* `gate --check`: regression-check the solver rows against the committed
+     BENCH_fast.json (exit 1 past GATE_MAX_REGRESSION_PCT) — the CI mode. *)
+  if List.mem "--check" args then Exp_gate.check_mode := true;
+  let args =
+    List.filter
+      (fun a -> a <> "--" && a <> "--table" && a <> "--figure" && a <> "--check")
+      args
+  in
   let selected =
     if args = [] then all
     else

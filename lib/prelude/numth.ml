@@ -9,21 +9,29 @@ let gcd a b =
   let g, _, _ = egcd (abs a) (abs b) in
   g
 
+(* Iterative extended Euclid keeping only the first Bézout coefficient:
+   tail recursion over four int accumulators, no per-level tuples — this
+   sits on the step-skipping solver's per-span path. Returns the answer
+   directly so the whole solve allocates only the final [Some]. *)
+let rec congruence_go q r g r1 inv s1 =
+  if r1 <> 0 then begin
+    let d = g / r1 in
+    congruence_go q r r1 (g - (d * r1)) s1 (inv - (d * s1))
+  end
+  else if q mod g <> 0 then None
+  else begin
+    let r' = r / g in
+    let inv = ((inv mod r') + r') mod r' in
+    let i = q / g mod r' * inv mod r' in
+    Some (if i = 0 then r' else i)
+  end
+
 let min_congruence_solution ~c ~q ~r =
   if r < 1 then invalid_arg "Numth.min_congruence_solution: r must be >= 1";
   if q < 0 || q >= r then invalid_arg "Numth.min_congruence_solution: need 0 <= q < r";
   let c = ((c mod r) + r) mod r in
   if c = 0 then (if q = 0 then Some 1 else None)
-  else begin
-    let g, inv, _ = egcd c r in
-    if q mod g <> 0 then None
-    else begin
-      let r' = r / g in
-      let inv = ((inv mod r') + r') mod r' in
-      let i = q / g mod r' * inv mod r' in
-      Some (if i = 0 then r' else i)
-    end
-  end
+  else congruence_go q r c r 1 0
 
 let ceil_div a b =
   if b <= 0 then invalid_arg "Numth.ceil_div: non-positive divisor";

@@ -22,6 +22,19 @@ type outcome = {
   window : Window.t;  (** input window, extended by the extra job if started *)
   case : case;
   extra : int option;  (** the job started on the m-th processor, if any *)
+  repeats : int;
+      (** Predictive stability certificate for the event-driven solver: the
+          largest [k] such that — {e provided} the window recomputed after
+          applying this outcome is {!Window.equal} to the input window —
+          the next [k] time steps provably reproduce this exact allocation
+          (the case split of Listing 1 hands out the same amounts
+          throughout; jobs may finish only on the last of them, exactly —
+          every job starts at [s_j = p_j·r_j]). 0 when the step itself
+          finishes a job, starts the Case-2 extra job, or stability cannot
+          be certified. Derived inside {!compute}'s single walk: the
+          finish-inclusive horizon [min_j ⌊(s_j − c_j)/c_j⌋] capped by the
+          q-event of the single non-multiple receiver (a linear
+          congruence) — see the implementation for the case analysis. *)
 }
 
 type scratch
@@ -34,11 +47,24 @@ val make_scratch : unit -> scratch
 
 val compute : ?scratch:scratch -> State.t -> Window.t -> budget:int -> extra:bool -> outcome
 (** Does not mutate the state. Walks the window's linked-list range
-    directly (two passes: locate the fractured job, then build the
-    allocations in order) without materializing {!Window.members}. Raises
-    [Invalid_argument] on an empty window (callers only invoke it while
-    unfinished jobs remain, so the computed window is never empty). *)
+    directly in a single pass (pushing full-requirement allocations and
+    locating the fractured job), then patches the fractured and max-W
+    entries in place per the case split — no member-list materialization
+    and no second walk. Raises [Invalid_argument] on an empty window
+    (callers only invoke it while unfinished jobs remain, so the computed
+    window is never empty). *)
 
 val apply : State.t -> outcome -> int list
 (** Consumes the outcome's allocations and returns the jobs that finished
     in this step (window order). Does not unlink them. *)
+
+val apply_n : State.t -> outcome -> reps:int -> int list
+(** {!apply} for [reps ≥ 1] identical steps at once: consumes
+    [reps × consumed] per allocation in a single walk and returns the jobs
+    that finished on the {e last} of those steps (window order). Sound
+    exactly when [reps − 1 ≤ outcome.repeats] and the window is at a fixed
+    point (see {!Window.stable}): the certificate guarantees no job
+    finishes and the allocation repeats verbatim on every step but
+    possibly the last, where full-requirement receivers may finish exactly.
+    Does not unlink and does not advance the clock. Raises
+    [Invalid_argument] if [reps < 1]. *)

@@ -8,6 +8,7 @@ let c_iters = Obs.Metrics.counter "sos.fast.iterations"
 let c_blocks = Obs.Metrics.counter "sos.fast.blocks"
 let c_skip_hits = Obs.Metrics.counter "sos.fast.skip_hits"
 let c_skipped = Obs.Metrics.counter "sos.fast.skipped_steps"
+let c_reuses = Obs.Metrics.counter "sos.fast.window_reuses"
 let c_makespan = Obs.Metrics.counter "sos.fast.makespan_steps"
 let c_assigned = Obs.Metrics.counter "sos.fast.assigned_units"
 let c_consumed = Obs.Metrics.counter "sos.fast.consumed_units"
@@ -28,60 +29,22 @@ let record_block allocs repeat =
   Obs.Metrics.add c_consumed (repeat * !c);
   Obs.Metrics.add c_waste (repeat * (!a - !c))
 
-(* Single-walk structural equality with early exit; only consulted after
-   the O(1) (version, window) fingerprint check passes, so the lists are
-   the same ≤ m members and usually equal. *)
-let rec alloc_eq (a : Schedule.alloc list) (b : Schedule.alloc list) =
-  match (a, b) with
-  | [], [] -> true
-  | x :: a, y :: b ->
-      x.job = y.job && x.assigned = y.assigned && x.consumed = y.consumed
-      && alloc_eq a b
-  | _ -> false
+(* Growable RLE block buffer: the loop pushes completed blocks here and
+   [Schedule.of_blocks] consumes the array directly — no per-iteration
+   list consing. *)
+let dummy_step = { Schedule.allocs = []; repeat = 1 }
 
-(* How many further identical steps are provably safe to skip. Called after
-   the current step's consumption has been applied. *)
-let skip_length st (outcome : Assign.outcome) w =
-  let inst = State.instance st in
-  let budget = inst.Instance.scale in
-  let allocs = outcome.Assign.allocs in
-  let non_multiple =
-    List.filter
-      (fun (a : Schedule.alloc) ->
-        a.consumed mod (Instance.job inst a.job).Job.req <> 0)
-      allocs
-  in
-  let k_finish =
-    List.fold_left
-      (fun acc (a : Schedule.alloc) ->
-        if a.consumed <= 0 then acc else min acc ((State.s st a.job - 1) / a.consumed))
-      max_int allocs
-  in
-  if k_finish = max_int then 0
-  else begin
-    match non_multiple with
-    | [] -> k_finish
-    | [ x ] ->
-        let is_max = Window.last w = Some x.job in
-        if is_max then
-          (* Remainder receiver is max W: the allocation is stable across the
-             receiver's un-fracturing events iff r(W) ≥ budget (see .mli);
-             the case analysis says r(W) < budget cannot give max W a
-             non-multiple amount, but fall back to no-skip rather than
-             crash if it ever did. *)
-          if Window.rsum w >= budget then k_finish else 0
-        else begin
-          let r = (Instance.job inst x.job).Job.req in
-          let q0 = State.s st x.job mod r in
-          if q0 = 0 then 0
-          else begin
-            match Prelude.Numth.min_congruence_solution ~c:x.consumed ~q:q0 ~r with
-            | None -> k_finish
-            | Some i -> min k_finish i
-          end
-        end
-    | _ -> 0
-  end
+type blocks = { mutable buf : Schedule.step array; mutable len : int }
+
+let push_block bl allocs repeat =
+  let cap = Array.length bl.buf in
+  if bl.len = cap then begin
+    let buf = Array.make (2 * cap) dummy_step in
+    Array.blit bl.buf 0 buf 0 cap;
+    bl.buf <- buf
+  end;
+  bl.buf.(bl.len) <- { Schedule.allocs; repeat };
+  bl.len <- bl.len + 1
 
 let run_count ?(variant = `Fixed) inst =
   Obs.Metrics.time t_run @@ fun () ->
@@ -90,9 +53,13 @@ let run_count ?(variant = `Fixed) inst =
   let st = State.create inst in
   let size = inst.Instance.m - 1 in
   let budget = inst.Instance.scale in
-  let steps = ref [] in
+  let blocks = { buf = Array.make 64 dummy_step; len = 0 } in
   let carried = ref Window.empty in
-  let prev = ref None in
+  (* Window pre-computed for the next iteration (the stability probe below
+     lands on exactly the window the next iteration would compute, so it is
+     handed over instead of recomputed). *)
+  let pre = ref Window.empty in
+  let have_pre = ref false in
   let iters = ref 0 in
   let scratch = Assign.make_scratch () in
   while not (State.all_finished st) do
@@ -103,56 +70,62 @@ let run_count ?(variant = `Fixed) inst =
        stays allocation-free and the bench gate's overhead budget holds. *)
     Robust.Context.poll ();
     Robust.Chaos.point "sos.fast.step";
-    (* Backstop against a skip-logic regression: between two completions the
-       loop simulates O(1) steps plus at most one q-event, so iterations are
-       O(n); anything near this generous budget is a bug, not workload. *)
-    if !iters > (100 * Instance.n inst) + 1000 then
+    (* Backstop against an event-logic regression: every simulated step
+       either finishes a job, starts the extra job, hits a q-event, or
+       opens a provably-stable span that is skipped whole, so iterations
+       are O(n); anything near this budget is a bug, not workload. *)
+    if !iters > (16 * Instance.n inst) + 64 then
       Robust.Failure.internal_error "Fast.run: iteration budget exceeded";
-    let w = Window.compute ~variant st !carried ~size ~budget in
-    let outcome = Assign.compute ~scratch st w ~budget ~extra:true in
-    let finished_jobs = Assign.apply st outcome in
-    State.tick st;
-    let extra_reps =
-      if finished_jobs <> [] then 0
-      else begin
-        (* Same member set iff the state saw no unlink since [prev] was
-           recorded and the range fingerprint matches — O(1), replacing the
-           per-iteration Window.members rebuild + list comparison. *)
-        match !prev with
-        | Some (pa, pw, pv)
-          when pv = State.version st && Window.equal pw w
-               && alloc_eq pa outcome.Assign.allocs ->
-            skip_length st outcome w
-        | _ -> 0
+    let w =
+      if !have_pre then begin
+        have_pre := false;
+        Obs.Metrics.incr c_reuses;
+        !pre
       end
+      else Window.compute ~variant st !carried ~size ~budget
     in
-    if extra_reps > 0 then begin
-      List.iter
-        (fun (a : Schedule.alloc) ->
-          State.consume st a.job (extra_reps * a.consumed))
-        outcome.Assign.allocs;
-      State.advance st extra_reps;
-      steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 + extra_reps } :: !steps;
-      if Obs.Metrics.enabled () then begin
+    let outcome = Assign.compute ~scratch st w ~budget ~extra:true in
+    (* Predictive skip: Assign certified [repeats] further identical steps;
+       Window.stable certifies the window is a fixed point of
+       Window.compute, which the repeated steps preserve (a positive
+       certificate implies no job finishes before the span's last step, so
+       membership, requirements and the started-status of min W are
+       untouched in between). The whole span is then paid for in this
+       single iteration — one bulk apply, one RLE block. *)
+    let k = outcome.Assign.repeats in
+    let reps =
+      if k > 0 && Window.stable ~variant st w ~size ~budget then 1 + k else 1
+    in
+    let finished_jobs = Assign.apply_n st outcome ~reps in
+    State.advance st reps;
+    push_block blocks outcome.Assign.allocs reps;
+    if Obs.Metrics.enabled () then begin
+      record_block outcome.Assign.allocs reps;
+      if reps > 1 then begin
         Obs.Metrics.incr c_skip_hits;
-        Obs.Metrics.add c_skipped extra_reps;
-        record_block outcome.Assign.allocs (1 + extra_reps)
-      end;
-      prev := None
-    end
-    else begin
-      steps := { Schedule.allocs = outcome.Assign.allocs; repeat = 1 } :: !steps;
-      if Obs.Metrics.enabled () then record_block outcome.Assign.allocs 1;
-      prev :=
-        if finished_jobs = [] then Some (outcome.Assign.allocs, w, State.version st)
-        else None
+        Obs.Metrics.add c_skipped (reps - 1)
+      end
     end;
-    let survivors = Window.prune st outcome.Assign.window in
-    List.iter (State.unlink st) finished_jobs;
-    carried := survivors;
-    ()
+    (match finished_jobs with
+    | [] ->
+        if reps > 1 then begin
+          (* The span ended without a finisher only because a non-multiple
+             receiver's q-event cut it short; the state still has the same
+             membership and the window is still at its fixed point, so the
+             next iteration's compute would return [w] — hand it over. *)
+          carried := w;
+          pre := w;
+          have_pre := true
+        end
+        else carried := outcome.Assign.window
+    | fs ->
+        (* O(|finished|) window repair, then unlink (repair needs the links
+           still intact). *)
+        let survivors = Window.repair st outcome.Assign.window ~finished:fs in
+        List.iter (State.unlink st) fs;
+        carried := survivors)
   done;
   Obs.Metrics.add c_makespan (State.now st);
-  (Schedule.make inst (List.rev !steps), !iters)
+  (Schedule.of_blocks inst blocks.buf ~len:blocks.len, !iters)
 
 let run ?variant inst = fst (run_count ?variant inst)

@@ -1,18 +1,27 @@
 (** The polynomial-time implementation of the approximation algorithm
-    (proof of Theorem 3.3): identical schedules to {!Listing1}, but runs of
-    time steps in which no job finishes are skipped in O(m) by solving a
-    linear equation, giving [O((m+n)·n)] overall instead of a dependence on
-    [Σ_j p_j].
+    (proof of Theorem 3.3): identical schedules to {!Listing1}, but the
+    loop is event-driven — it simulates one step per {e event} (a job
+    finishing, the Case-2 extra job starting, a fractured job's remainder
+    hitting 0, the window changing shape) and skips the provably identical
+    steps between events in closed form, giving [O((m+n)·n)] overall
+    instead of a dependence on [Σ_j p_j].
 
-    A run of steps can be skipped once the allocation provably repeats:
-    the window is unchanged, no job finished, the allocation equals the
-    previous step's, and at most one allocated job (the remainder receiver)
-    consumes an amount that is not a multiple of its requirement. The skip
-    length is capped by (i) the first step in which some job would finish
-    and (ii) — when the window's total requirement is below the budget — the
-    first step in which the remainder receiver's fractional part [q] would
-    hit 0, because the case split of Listing 1 changes there. Both caps are
-    closed-form (a division and a linear congruence). *)
+    {b Predictive skip.} {!Assign.compute} certifies on the {e first} step
+    of a span how many further steps repeat the same allocation
+    ([outcome.repeats]): the finish-inclusive horizon [min_j ⌊(s_j−c_j)/c_j⌋]
+    capped by the q-event of the single non-multiple receiver (a linear
+    congruence — see {!Assign.outcome}). The loop validates the
+    certificate's premise with {!Window.stable}, the O(1) fixed-point test
+    of {!Window.compute}, and then pays for the whole span with a single
+    iteration — no warm-up step observing two identical allocations, no
+    window recomputation. See doc/ALGORITHM.md §5a for the proof sketch
+    and the iteration bound.
+
+    {b Zero-allocation steps.} Blocks are emitted run-length encoded into
+    a growable array consumed by {!Schedule.of_blocks}; the window after a
+    finishing step is repaired in O(finished) ({!Window.repair}); the
+    stability probe's window is handed to the next iteration instead of
+    recomputed. Between events the loop allocates nothing. *)
 
 val run : ?variant:[ `Fixed | `Literal ] -> Instance.t -> Schedule.t
 (** Produces the same schedule as [Listing1.run] (same [variant]) with runs

@@ -14,6 +14,21 @@ let make inst steps =
 
 let empty inst = { inst; steps = []; makespan = 0 }
 
+let of_blocks inst blocks ~len =
+  if len < 0 || len > Array.length blocks then
+    invalid_arg "Schedule.of_blocks: len out of range";
+  (* One backward pass: builds the step list in time order and sums the
+     makespan without an intermediate reversed list. *)
+  let makespan = ref 0 in
+  let steps = ref [] in
+  for i = len - 1 downto 0 do
+    let st = blocks.(i) in
+    if st.repeat <= 0 then invalid_arg "Schedule.of_blocks: non-positive repeat";
+    makespan := !makespan + st.repeat;
+    steps := st :: !steps
+  done;
+  { inst; steps = !steps; makespan = !makespan }
+
 (* ------------------------------------------------------- RLE iteration *)
 
 (* Everything below is built on these two: one pass over the run-length

@@ -1,9 +1,21 @@
+type view = {
+  v_s : int array;
+  v_r : int array;
+  v_d : int array;
+  v_q : int array;
+  v_next : int array;
+}
+
 type t = {
   inst : Instance.t;
   s : int array;
+  r : int array; (* per-job requirement, denormalized for the hot loops *)
+  d : int array; (* s.(i) / r.(i), maintained by every consume *)
+  q : int array; (* s.(i) mod r.(i), maintained by every consume *)
   next : int array;
   prev : int array;
   linked : bool array;
+  vw : view; (* aliases s/r/d/q/next; rebuilt by [copy] *)
   mutable head : int; (* -1 when empty *)
   mutable remaining : int;
   mutable now : int;
@@ -13,14 +25,22 @@ type t = {
 let create inst =
   let n = Instance.n inst in
   let s = Array.init n (fun i -> Job.s (Instance.job inst i)) in
+  let r = Array.init n (fun i -> (Instance.job inst i).Job.req) in
+  (* s_j = p_j·r_j, so initially d = p_j and q = 0 *)
+  let d = Array.init n (fun i -> (Instance.job inst i).Job.size) in
+  let q = Array.make n 0 in
   let next = Array.init n (fun i -> if i = n - 1 then -1 else i + 1) in
   let prev = Array.init n (fun i -> i - 1) in
   {
     inst;
     s;
+    r;
+    d;
+    q;
     next;
     prev;
     linked = Array.make n true;
+    vw = { v_s = s; v_r = r; v_d = d; v_q = q; v_next = next };
     head = (if n = 0 then -1 else 0);
     remaining = n;
     now = 0;
@@ -28,13 +48,22 @@ let create inst =
   }
 
 let copy t =
+  let s = Array.copy t.s in
+  let d = Array.copy t.d in
+  let q = Array.copy t.q in
+  let next = Array.copy t.next in
   {
     t with
-    s = Array.copy t.s;
-    next = Array.copy t.next;
+    s;
+    d;
+    q;
+    next;
     prev = Array.copy t.prev;
     linked = Array.copy t.linked;
+    vw = { v_s = s; v_r = t.r; v_d = d; v_q = q; v_next = next };
   }
+
+let view t = t.vw
 
 let instance t = t.inst
 let now t = t.now
@@ -50,10 +79,11 @@ let all_finished t = t.remaining = 0
 let s t i = t.s.(i)
 let started t i = t.s.(i) < Job.s (Instance.job t.inst i)
 let finished t i = t.s.(i) = 0
-let req t i = (Instance.job t.inst i).Job.req
-let q t i = t.s.(i) mod req t i
-let fractured t i = t.s.(i) > 0 && q t i <> 0
+let req t i = t.r.(i)
+let q t i = t.q.(i)
+let fractured t i = t.s.(i) > 0 && t.q.(i) <> 0
 let head t = if t.head < 0 then None else Some t.head
+let head_idx t = t.head
 
 let next_remaining t i =
   if not t.linked.(i) then invalid_arg "State.next_remaining: job not linked";
@@ -65,10 +95,54 @@ let prev_remaining t i =
   let j = t.prev.(i) in
   if j < 0 then None else Some j
 
+let next_idx t i =
+  if not t.linked.(i) then invalid_arg "State.next_idx: job not linked";
+  t.next.(i)
+
+let prev_idx t i =
+  if not t.linked.(i) then invalid_arg "State.prev_idx: job not linked";
+  t.prev.(i)
+
 let consume t i amount =
   if amount < 0 then invalid_arg "State.consume: negative amount";
   if amount > t.s.(i) then invalid_arg "State.consume: amount exceeds remaining";
-  t.s.(i) <- t.s.(i) - amount
+  let s = t.s.(i) - amount in
+  t.s.(i) <- s;
+  let r = t.r.(i) in
+  let d = s / r in
+  t.d.(i) <- d;
+  t.q.(i) <- s - (d * r)
+
+(* Fused bulk consume over one step's allocations, repeated [reps] times:
+   one walk, one division-free cache update for full-requirement receivers
+   (the common case — d drops by [reps], q is untouched because the amount
+   is a multiple of r), one division for the at-most-two others. Returns
+   the jobs that hit s = 0, in allocation (window) order. *)
+let rec consume_allocs_go t reps acc allocs =
+  match allocs with
+  | [] -> List.rev acc
+  | (a : Schedule.alloc) :: tl ->
+      let i = a.job in
+      let c = a.consumed in
+      let amount = reps * c in
+      if amount < 0 then invalid_arg "State.consume_allocs: negative amount";
+      if amount > t.s.(i) then
+        invalid_arg "State.consume_allocs: amount exceeds remaining";
+      let s = t.s.(i) - amount in
+      t.s.(i) <- s;
+      let r = t.r.(i) in
+      if c = r then t.d.(i) <- t.d.(i) - reps
+      else begin
+        let d = s / r in
+        t.d.(i) <- d;
+        t.q.(i) <- s - (d * r)
+      end;
+      if s = 0 then consume_allocs_go t reps (i :: acc) tl
+      else consume_allocs_go t reps acc tl
+
+let consume_allocs t allocs ~reps =
+  if reps < 1 then invalid_arg "State.consume_allocs: reps must be >= 1";
+  consume_allocs_go t reps [] allocs
 
 let unlink t i =
   if not t.linked.(i) then invalid_arg "State.unlink: already unlinked";

@@ -26,8 +26,8 @@ val version : t -> int
     {!unlink}, untouched by {!consume}/{!tick}. Two observations with the
     same version see the same remaining-jobs list (same members, same
     order), so a [(version, window-range)] pair is an O(1) fingerprint for
-    "the window's member set is unchanged" — the step-skipping solver uses
-    it instead of rebuilding and structurally comparing member lists. *)
+    "the window's member set is unchanged" without rebuilding and
+    structurally comparing member lists. *)
 
 val remaining_count : t -> int
 val all_finished : t -> bool
@@ -47,6 +47,10 @@ val fractured : t -> int -> bool
 val q : t -> int -> int
 (** [q_i(t) = s_i(t) mod r_i] (0 when unfractured). *)
 
+val req : t -> int -> int
+(** [r_i], denormalized into the state so the hot loops pay one array read
+    instead of an instance lookup. *)
+
 val head : t -> int option
 (** Smallest-requirement unfinished job. *)
 
@@ -55,9 +59,42 @@ val next_remaining : t -> int -> int option
 
 val prev_remaining : t -> int -> int option
 
+val head_idx : t -> int
+(** {!head}/{!next_remaining}/{!prev_remaining} with −1 for "none" instead
+    of an option — the allocation-free variants the solver hot loops use
+    (a [Some] per linked-list hop is the dominant allocation otherwise). *)
+
+val next_idx : t -> int -> int
+val prev_idx : t -> int -> int
+
+type view = {
+  v_s : int array;
+  v_r : int array;
+  v_d : int array;  (** [s_j/r_j], maintained by every consume *)
+  v_q : int array;  (** [s_j mod r_j], maintained by every consume *)
+  v_next : int array;
+}
+(** Read-only hot view over the state's internal arrays ([s_j], [r_j], the
+    cached quotient/remainder by [r_j], and the next-links with −1 for
+    "none"). Shared with the state itself — callers must never write
+    through it; it exists so the solver's innermost walks pay raw array
+    reads instead of cross-module calls (which ocamlopt does not inline
+    without flambda) and skip the 64-bit divisions entirely. Stays valid
+    across {!consume}/{!unlink}: the arrays are updated in place. *)
+
+val view : t -> view
+(** O(1); the record is built once per state, not per call. *)
+
 val consume : t -> int -> int -> unit
 (** [consume t i amount] reduces [s_i] by [amount]; raises
     [Invalid_argument] if [amount < 0] or [amount > s_i]. Does not unlink. *)
+
+val consume_allocs : t -> Schedule.alloc list -> reps:int -> int list
+(** Consume [reps ≥ 1] copies of every allocation's [consumed] in one walk
+    and return the jobs that reached [s = 0], in allocation order. Updates
+    the cached quotient/remainder without a division for full-requirement
+    receivers. Same checks as {!consume} per allocation; does not unlink
+    and does not advance the clock. *)
 
 val unlink : t -> int -> unit
 (** Remove a finished job from the remaining list. Raises

@@ -13,6 +13,8 @@ let count = function Empty -> 0 | Range r -> r.count
 let rsum = function Empty -> 0 | Range r -> r.rsum
 let first = function Empty -> None | Range r -> Some r.first
 let last = function Empty -> None | Range r -> Some r.last
+let first_idx = function Empty -> -1 | Range r -> r.first
+let last_idx = function Empty -> -1 | Range r -> r.last
 
 let mem w i =
   match w with Empty -> false | Range r -> r.first <= i && i <= r.last
@@ -24,7 +26,7 @@ let equal a b =
       a.first = b.first && a.last = b.last && a.count = b.count && a.rsum = b.rsum
   | _ -> false
 
-let req st i = (Instance.job (State.instance st) i).Job.req
+let req = State.req
 
 let members st w =
   match w with
@@ -95,69 +97,197 @@ let drop_left st w =
             Range { r with first = j; count = r.count - 1; rsum = r.rsum - req st r.first }
       end
 
-let grow_left st w ~size ~budget =
-  let rec loop w =
-    if count w < size && left_neighbor st w <> None && rsum w < budget then begin
-      Obs.Metrics.incr c_refills;
-      loop (add_left st w)
-    end
-    else w
-  in
-  loop w
+(* The grow/move loops below are written as top-level recursive functions
+   on the sentinel-index State API: in the common no-change case (the
+   event-driven solver's per-step stability probe) they allocate nothing —
+   no closures, no [Some] per linked-list hop, no intermediate windows. *)
 
-let grow_left_fixed st w ~size ~budget =
-  let b_preserved w j =
-    match last w with
-    | None -> true
-    | Some mx -> rsum w + req st j - req st mx < budget
-  in
-  let rec loop w =
-    if count w < size then begin
-      match left_neighbor st w with
-      | Some j when b_preserved w j ->
+let rec grow_left_go st size budget w =
+  match w with
+  | Empty -> w
+  | Range r ->
+      if r.count < size && r.rsum < budget then begin
+        let j = State.prev_idx st r.first in
+        if j >= 0 then begin
           Obs.Metrics.incr c_refills;
-          loop (add_left st w)
-      | _ -> w
-    end
-    else w
-  in
-  loop w
+          grow_left_go st size budget
+            (Range { r with first = j; count = r.count + 1; rsum = r.rsum + req st j })
+        end
+        else w
+      end
+      else w
 
-let grow_right st w ~size ~budget =
-  let rec loop w =
-    if rsum w < budget && right_neighbor st w <> None && count w < size then begin
-      Obs.Metrics.incr c_refills;
-      loop (add_right st w)
-    end
-    else w
-  in
-  loop w
+let grow_left st w ~size ~budget = grow_left_go st size budget w
 
-let move_right st w ~budget =
-  let unstarted_min w =
-    match first w with Some j -> not (State.started st j) | None -> false
-  in
-  let rec loop w =
-    if rsum w < budget && right_neighbor st w <> None && unstarted_min w then begin
-      Obs.Metrics.incr c_slides;
-      loop (drop_left st (add_right st w))
-    end
-    else w
-  in
-  loop w
+let rec grow_left_fixed_go st size budget w =
+  match w with
+  | Empty -> w
+  | Range r ->
+      if r.count < size then begin
+        let j = State.prev_idx st r.first in
+        (* property (b) must survive the addition:
+           r(W ∪ {j} ∖ {max W}) < budget *)
+        if j >= 0 && r.rsum + req st j - req st r.last < budget then begin
+          Obs.Metrics.incr c_refills;
+          grow_left_fixed_go st size budget
+            (Range { r with first = j; count = r.count + 1; rsum = r.rsum + req st j })
+        end
+        else w
+      end
+      else w
+
+let grow_left_fixed st w ~size ~budget = grow_left_fixed_go st size budget w
+
+let rec grow_right_go st size budget w =
+  match w with
+  | Empty ->
+      let h = State.head_idx st in
+      if 0 < budget && h >= 0 && 0 < size then begin
+        Obs.Metrics.incr c_refills;
+        grow_right_go st size budget
+          (Range { first = h; last = h; count = 1; rsum = req st h })
+      end
+      else w
+  | Range r ->
+      if r.rsum < budget && r.count < size then begin
+        let j = State.next_idx st r.last in
+        if j >= 0 then begin
+          Obs.Metrics.incr c_refills;
+          grow_right_go st size budget
+            (Range { r with last = j; count = r.count + 1; rsum = r.rsum + req st j })
+        end
+        else w
+      end
+      else w
+
+let grow_right st w ~size ~budget = grow_right_go st size budget w
+
+let rec move_right_go st budget w =
+  match w with
+  | Empty -> w
+  | Range r ->
+      if r.rsum < budget && not (State.started st r.first) then begin
+        let j = State.next_idx st r.last in
+        if j >= 0 then begin
+          Obs.Metrics.incr c_slides;
+          (* add min R, drop min W — fused *)
+          let w' =
+            if r.count = 1 then Range { first = j; last = j; count = 1; rsum = req st j }
+            else
+              Range
+                {
+                  first = State.next_idx st r.first;
+                  last = j;
+                  count = r.count;
+                  rsum = r.rsum - req st r.first + req st j;
+                }
+          in
+          move_right_go st budget w'
+        end
+        else w
+      end
+      else w
+
+let move_right st w ~budget = move_right_go st budget w
 
 let prune st w =
-  let survivors = List.filter (fun i -> not (State.finished st i)) (members st w) in
-  match survivors with
-  | [] -> Empty
-  | first :: _ as ms ->
-      let rec last_of = function
-        | [ x ] -> x
-        | _ :: rest -> last_of rest
-        | [] -> assert false
+  match w with
+  | Empty -> Empty
+  | Range r ->
+      (* Single allocation-free walk of the range, tracking the surviving
+         bounds, count and requirement sum. *)
+      let first = ref (-1) and last = ref (-1) in
+      let count = ref 0 and rsum = ref 0 in
+      let rec go i =
+        if not (State.finished st i) then begin
+          if !first < 0 then first := i;
+          last := i;
+          incr count;
+          rsum := !rsum + req st i
+        end;
+        if i <> r.last then begin
+          match State.next_remaining st i with
+          | Some j -> go j
+          | None -> invalid_arg "Window.prune: broken range"
+        end
       in
-      let rsum = List.fold_left (fun acc i -> acc + req st i) 0 ms in
-      Range { first; last = last_of ms; count = List.length ms; rsum }
+      go r.first;
+      if !count = 0 then Empty
+      else Range { first = !first; last = !last; count = !count; rsum = !rsum }
+
+(* Fold the finished jobs lying inside [lo..hi] out of (count, rsum) —
+   two sentinel-int accumulators threaded through a top-level recursion,
+   no refs, no closures. *)
+let rec repair_count st lo hi count fs =
+  match fs with
+  | [] -> count
+  | f :: tl -> repair_count st lo hi (if lo <= f && f <= hi then count - 1 else count) tl
+
+let rec repair_rsum st lo hi rsum fs =
+  match fs with
+  | [] -> rsum
+  | f :: tl ->
+      repair_rsum st lo hi (if lo <= f && f <= hi then rsum - req st f else rsum) tl
+
+let rec repair_fwd st i =
+  if not (State.finished st i) then i
+  else begin
+    let j = State.next_idx st i in
+    if j < 0 then invalid_arg "Window.repair: broken range" else repair_fwd st j
+  end
+
+let rec repair_bwd st i =
+  if not (State.finished st i) then i
+  else begin
+    let j = State.prev_idx st i in
+    if j < 0 then invalid_arg "Window.repair: broken range" else repair_bwd st j
+  end
+
+let repair st w ~finished =
+  match w with
+  | Empty -> Empty
+  | Range r ->
+      (* O(|finished|): subtract the just-finished members from the range
+         totals, then advance the bounds past finished members — each hop
+         passes one finished job, so the walks cost O(|finished|) combined,
+         never O(|W|). *)
+      let count = repair_count st r.first r.last r.count finished in
+      if count = 0 then Empty
+      else
+        Range
+          {
+            first = repair_fwd st r.first;
+            last = repair_bwd st r.last;
+            count;
+            rsum = repair_rsum st r.first r.last r.rsum finished;
+          }
+
+let stable ?(variant = `Fixed) st w ~size ~budget =
+  match w with
+  | Empty -> false
+  | Range r ->
+      (* [compute w = w] ⟺ all three loops stall immediately:
+         - grow-left: count = size, no left neighbour, or the variant's
+           budget condition blocks the addition;
+         - grow-right: count = size, no right neighbour, or rsum ≥ budget;
+         - move-right: rsum ≥ budget, no right neighbour, or min W started.
+         Each test is O(1) reads of step-invariant data (links, count,
+         rsum, requirements) plus started(min W), so the event-driven
+         solver can certify the fixed point without replaying the loops. *)
+      let left_stall =
+        r.count >= size
+        ||
+        let p = State.prev_idx st r.first in
+        p < 0
+        ||
+        (match variant with
+        | `Fixed -> r.rsum + req st p - req st r.last >= budget
+        | `Literal -> r.rsum >= budget)
+      in
+      left_stall
+      && (r.rsum >= budget
+         || State.next_idx st r.last < 0
+         || (r.count >= size && State.started st r.first))
 
 let compute ?(variant = `Fixed) st w ~size ~budget =
   let w =

@@ -23,14 +23,19 @@ val first : t -> int option
 val last : t -> int option
 (** [max W] — largest requirement. *)
 
+val first_idx : t -> int
+val last_idx : t -> int
+(** {!first}/{!last} with −1 for the empty window — allocation-free
+    variants for the solver hot loops. *)
+
 val mem : t -> int -> bool
 (** Index-range membership test (valid because members are consecutive). *)
 
 val equal : t -> t -> bool
 (** O(1) structural equality of the range representation
     ([first]/[last]/count/r-sum). Two equal windows over states with the
-    same {!State.version} have identical member lists — the cheap
-    fingerprint the step-skipping solver compares instead of materializing
+    same {!State.version} have identical member lists — a cheap
+    fingerprint for "same member set" that avoids materializing
     {!members}. *)
 
 val members : State.t -> t -> int list
@@ -83,9 +88,33 @@ val move_right : State.t -> t -> budget:int -> t
     [min W] is unstarted, slide one position right. *)
 
 val prune : State.t -> t -> t
-(** Drop finished members (line 2 of Listing 1, [W ∩ J(t−1)]). Must be
-    called while the finished members are still linked in the state, i.e.
-    before {!State.unlink}. *)
+(** Drop finished members (line 2 of Listing 1, [W ∩ J(t−1)]). One
+    allocation-free walk of the range, O(|W|). Must be called while the
+    finished members are still linked in the state, i.e. before
+    {!State.unlink}. *)
+
+val repair : State.t -> t -> finished:int list -> t
+(** {!prune} in O(|finished|) instead of O(|W|) for callers that already
+    know the jobs that finished this step (the event-driven solver gets
+    them from [Assign.apply]): subtracts the finished members lying inside
+    the range from the count/requirement totals and advances the bounds
+    past finished members. Finished jobs outside the range are ignored.
+    Like {!prune}, must be called before {!State.unlink}; the result is
+    valid after those unlinks complete (the surviving range then links
+    exactly the unfinished members, in {!State.unlink} order). *)
+
+val stable :
+  ?variant:[ `Fixed | `Literal ] -> State.t -> t -> size:int -> budget:int -> bool
+(** O(1) fixed-point test: [stable st w] is [true] iff [compute st w = w]
+    on the current state, decided by checking that all three of
+    {!compute}'s loops stall on their first test (grow-left: full, at the
+    left border, or the variant's budget condition; grow-right and
+    move-right: [r(W) ≥ budget] or at the right border, plus [min W]
+    started for move-right). The event-driven solver calls this instead of
+    replaying {!compute} when deciding whether a certified span may be
+    skipped; [false] never mis-certifies, it only forfeits a skip.
+    [Empty] reports [false] (on a state with remaining jobs, {!compute}
+    would grow it). *)
 
 val compute :
   ?variant:[ `Fixed | `Literal ] -> State.t -> t -> size:int -> budget:int -> t

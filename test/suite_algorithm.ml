@@ -291,6 +291,58 @@ let test_fast_equiv_qevent_stress () =
           (Instance.to_string inst))
     cases
 
+(* Iteration-count goldens for the event-driven solver: the number of
+   simulated loop iterations on pinned instances, both window variants.
+   These pin the predictive-skip behaviour exactly — a change that costs
+   (or saves) even one event shows up here long before it moves wall
+   clock. Refresh deliberately if the skip rule is extended. *)
+let test_fast_iteration_goldens () =
+  let check name inst ~fixed ~literal =
+    let s_fix, it_fix = Fast.run_count ~variant:`Fixed inst in
+    let s_lit, it_lit = Fast.run_count ~variant:`Literal inst in
+    Helpers.check_valid s_fix;
+    Helpers.check_valid s_lit;
+    Alcotest.(check int) (name ^ ": fixed iterations") fixed it_fix;
+    Alcotest.(check int) (name ^ ": literal iterations") literal it_lit
+  in
+  check "pinned-m3"
+    (Instance.create ~m:3 ~scale:12 [ (4, 5); (3, 7); (6, 2); (2, 12); (5, 9) ])
+    ~fixed:6 ~literal:6;
+  check "pinned-m4"
+    (Instance.create ~m:4 ~scale:10
+       [ (2, 3); (5, 4); (1, 10); (3, 6); (4, 2); (2, 8); (6, 5) ])
+    ~fixed:8 ~literal:8;
+  let rng = Rng.create 424242 in
+  check "bimodal-n60"
+    (Workload.Sos_gen.generate rng Workload.Sos_gen.bimodal ~n:60 ~m:8 ())
+    ~fixed:50 ~literal:48
+
+(* The perf gate's T7b volume-scaling shapes (same seed recipe as
+   bench/exp_perf.ml's make_instance): the simulated iteration count must
+   stay linear in n with a small constant. Makespans here are 10^7–10^8
+   steps, so a lost skip blows past 2n immediately — long before the
+   solver's 16n + 64 hard backstop would trip. *)
+let gate_instance ~n ~m ~pmax seed =
+  let rng = Rng.create (0xCA51E + seed) in
+  let scale = 720720 in
+  let specs =
+    List.init n (fun _ -> (Rng.int_in rng 1 pmax, Rng.int_in rng 1 scale))
+  in
+  Instance.create ~m ~scale specs
+
+let test_fast_iterations_linear () =
+  List.iter
+    (fun (n, pmax) ->
+      let inst = gate_instance ~n ~m:8 ~pmax (7 * n * pmax) in
+      List.iter
+        (fun variant ->
+          let sched, iters = Fast.run_count ~variant inst in
+          if iters > 2 * n then
+            Alcotest.failf "t7b n=%d pmax=%d: %d iterations > 2n (makespan %d)" n
+              pmax iters sched.Schedule.makespan)
+        variants)
+    [ (50, 10_000_000); (800, 100_000); (3200, 100_000) ]
+
 let test_makespan_at_least_lb () =
   for seed = 1 to 200 do
     let rng = Rng.create (seed * 13) in
@@ -430,6 +482,9 @@ let suite =
         test_fast_equiv_qevent_stress;
       Alcotest.test_case "fast ≡ listing1 (medium volumes)" `Quick
         test_fast_equiv_medium_volumes;
+      Alcotest.test_case "fast iteration goldens" `Quick test_fast_iteration_goldens;
+      Alcotest.test_case "fast iterations ≤ 2n (t7b shapes)" `Quick
+        test_fast_iterations_linear;
       Alcotest.test_case "makespan ≥ lower bound" `Quick test_makespan_at_least_lb;
       Alcotest.test_case "splittable pack structure" `Quick test_splittable_pack_structure;
       Alcotest.test_case "Lemma 3.7 stall (reproduction finding)" `Quick
