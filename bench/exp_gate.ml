@@ -141,6 +141,174 @@ let t7c () =
     (fun (d, (_, wall_s)) -> { domains = d; wall_s; speedup = base_wall /. wall_s })
     measured
 
+(* ------------------------------------------------------------ t7d *)
+
+(* Streaming-batch throughput: a binary spec corpus streamed off disk
+   through Workload.Specs -> Engine.Batch.stream_seq under the bounded
+   window — the same constant-memory pipeline as `sosctl batch --stream`.
+   Rows record specs/s and peak RSS for 1e5 and 1e6 specs: the two RSS
+   numbers being (nearly) equal at a 10x corpus-size gap is the
+   constant-memory acceptance check, preserved in BENCH_fast.json. The
+   chunk size is autotuned per machine (best of {64, 256, 1024} on a 32k
+   warm-up slice) because the sync-cost/batching tradeoff moves with core
+   count and allocator behaviour. *)
+
+type t7d_row = {
+  t7d_name : string;
+  t7d_specs : int;
+  t7d_chunk : int;
+  t7d_domains : int;
+  t7d_wall_s : float;
+  specs_per_s : float;
+  peak_rss_kb : int;
+  rss_before_kb : int;
+}
+
+let json_of_t7d r =
+  Printf.sprintf
+    "  {\"name\": %S, \"section\": \"t7d\", \"specs\": %d, \"chunk\": %d, \
+     \"domains\": %d, \"cores_available\": %d, \"best_of\": 1, \"wall_s\": %.6f, \
+     \"specs_per_s\": %.0f, \"peak_rss_kb\": %d, \"rss_before_kb\": %d}"
+    r.t7d_name r.t7d_specs r.t7d_chunk r.t7d_domains
+    (Engine.Pool.recommended_domain_count ())
+    r.t7d_wall_s r.specs_per_s r.peak_rss_kb r.rss_before_kb
+
+(* "VmHWM:   123456 kB" out of /proc/self/status; None off-Linux (the row
+   then records 0 and only specs/s is meaningful). *)
+let proc_status_kb key =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> None
+  | body ->
+      String.split_on_char '\n' body
+      |> List.find_map (fun line ->
+             if String.starts_with ~prefix:(key ^ ":") line then
+               match
+                 String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+               with
+               | _ :: v :: _ -> int_of_string_opt v
+               | _ -> None
+             else None)
+
+(* Writing "5" resets the peak-RSS watermark so VmHWM measures this
+   section, not whatever t7a..t7c peaked at earlier; best effort (some
+   kernels refuse), which is why rows also record rss_before_kb. *)
+let reset_peak_rss () =
+  match
+    Out_channel.with_open_text "/proc/self/clear_refs" (fun oc ->
+        Out_channel.output_string oc "5")
+  with
+  | () -> ()
+  | exception Sys_error _ -> ()
+
+let t7d_family = Workload.Sos_gen.uniform_small
+
+let t7d_write_corpus path count =
+  Out_channel.with_open_bin path (fun oc ->
+      let w = Workload.Specs.Writer.create oc in
+      for _ = 1 to count do
+        match
+          Workload.Specs.Writer.add w ~family:t7d_family.Workload.Sos_gen.name ~n:4 ~m:4 ()
+        with
+        | Ok () -> ()
+        | Error msg -> failwith ("t7d: " ^ msg)
+      done)
+
+(* One streaming pass: pull records off the reader, solve each exactly as
+   `sosctl batch` does — randomness from (seed, index, attempt 0) — and
+   fold the makespans into the order-sensitive fingerprint on ordered
+   emission. Returns (count, fingerprint). *)
+let t7d_run path ~domains ~chunk =
+  let src =
+    match Workload.Specs.open_path path with
+    | Ok s -> s
+    | Error msg -> failwith ("t7d: " ^ msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> Workload.Specs.close src)
+    (fun () ->
+      let fp = ref 17 in
+      let count =
+        Engine.Pool.with_pool ~domains (fun pool ->
+            Engine.Batch.stream_seq pool ~chunk
+              (fun i ->
+                match Workload.Specs.read src with
+                | None -> None
+                | Some r ->
+                    Some
+                      (fun () ->
+                        match r.Workload.Specs.payload with
+                        | Workload.Specs.Gen { n; m; _ } ->
+                            let rng = Prelude.Rng.create3 (base_seed + 0x7D4) i 0 in
+                            let inst =
+                              Workload.Sos_gen.generate rng t7d_family ~n ~m ()
+                            in
+                            (Sos.Fast.run inst).Sos.Schedule.makespan
+                        | _ -> failwith "t7d: unexpected record"))
+              ~f:(fun _ -> function
+                | Ok mk -> fp := ((!fp * 31) + mk) land max_int
+                | Error (e : Engine.Batch.error) ->
+                    failwith ("t7d solve failed: " ^ e.message)))
+      in
+      (count, !fp))
+
+let t7d_warmup_specs = 32_768
+let t7d_chunk_candidates = [ 64; 256; 1024 ]
+
+let t7d () =
+  let dmax = Engine.Pool.recommended_domain_count () in
+  let tmp = Filename.temp_file "sos-t7d" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      t7d_write_corpus tmp t7d_warmup_specs;
+      let tune =
+        List.map
+          (fun c ->
+            let _, w = Clock.best_of ~k:1 (fun () -> t7d_run tmp ~domains:dmax ~chunk:c) in
+            (c, w))
+          t7d_chunk_candidates
+      in
+      let chunk, _ =
+        List.fold_left
+          (fun (bc, bw) (c, w) -> if w < bw then (c, w) else (bc, bw))
+          (match tune with x :: _ -> x | [] -> assert false)
+          tune
+      in
+      let fp_1e5 = ref 0 in
+      let rows =
+        List.map
+          (fun (name, count) ->
+            t7d_write_corpus tmp count;
+            let rss_before = Option.value (proc_status_kb "VmRSS") ~default:0 in
+            reset_peak_rss ();
+            let (got, fp), wall_s =
+              Clock.best_of ~k:1 (fun () -> t7d_run tmp ~domains:dmax ~chunk)
+            in
+            if got <> count then
+              failwith (Printf.sprintf "t7d: streamed %d of %d specs" got count);
+            if count = 100_000 then fp_1e5 := fp;
+            {
+              t7d_name = name;
+              t7d_specs = count;
+              t7d_chunk = chunk;
+              t7d_domains = dmax;
+              t7d_wall_s = wall_s;
+              specs_per_s = float_of_int count /. wall_s;
+              peak_rss_kb = Option.value (proc_status_kb "VmHWM") ~default:0;
+              rss_before_kb = rss_before;
+            })
+          [ ("t7d-stream-1e5", 100_000); ("t7d-stream-1e6", 1_000_000) ]
+      in
+      (* Determinism cross-check on the streamed path: the 1e5 corpus at 1
+         domain must fingerprint identically to the dmax run above. *)
+      t7d_write_corpus tmp 100_000;
+      let (_, fp1), _ = Clock.best_of ~k:1 (fun () -> t7d_run tmp ~domains:1 ~chunk) in
+      if fp1 <> !fp_1e5 then
+        failwith
+          "t7d: streamed batch results at 1 domain differ from the parallel run \
+           (determinism violation)";
+      (chunk, tune, rows))
+
 (* ------------------------------------------------------------- obs row *)
 
 (* Telemetry overhead gate (doc/OBSERVABILITY.md). Two measurements on the
@@ -166,14 +334,15 @@ let t7c () =
 
 let obs_shape_name = "t7a-n200"
 
-(* Previous wall_s for [name] in the committed BENCH_fast.json: each row is
-   one line, so a line-based scan is enough — no JSON parser needed. *)
-let prev_wall path name =
+(* Previous value of [field] for row [name] in the committed
+   BENCH_fast.json: each row is one line, so a line-based scan is enough —
+   no JSON parser needed. *)
+let prev_field path name field =
   if not (Sys.file_exists path) then None
   else begin
     let contents = In_channel.with_open_text path In_channel.input_all in
     let needle = Printf.sprintf "\"name\": %S" name in
-    let field = "\"wall_s\": " in
+    let field = Printf.sprintf "\"%s\": " field in
     String.split_on_char '\n' contents
     |> List.find_map (fun line ->
            let contains s =
@@ -199,6 +368,8 @@ let prev_wall path name =
                  done;
                  float_of_string_opt (String.sub line start (!stop - start)))
   end
+
+let prev_wall path name = prev_field path name "wall_s"
 
 type obs_row = {
   wall_disabled_s : float;
@@ -295,17 +466,18 @@ let obs_snapshot () =
 let check_mode = ref false
 let check_slack_s = 50e-6
 
+let gate_threshold () =
+  match Sys.getenv_opt "GATE_MAX_REGRESSION_PCT" with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some t -> t
+      | None ->
+          Printf.eprintf "gate --check: bad GATE_MAX_REGRESSION_PCT %S\n" v;
+          exit 2)
+  | None -> 10.0
+
 let check_rows rows =
-  let threshold =
-    match Sys.getenv_opt "GATE_MAX_REGRESSION_PCT" with
-    | Some v -> (
-        match float_of_string_opt v with
-        | Some t -> t
-        | None ->
-            Printf.eprintf "gate --check: bad GATE_MAX_REGRESSION_PCT %S\n" v;
-            exit 2)
-    | None -> 10.0
-  in
+  let threshold = gate_threshold () in
   let failures =
     List.filter_map
       (fun r ->
@@ -330,6 +502,42 @@ let check_rows rows =
           Printf.eprintf
             "gate --check: %s wall_s regressed %+.2f%% (%.6f s -> %.6f s, \
              threshold %.2f%%)\n"
+            name pct prev now threshold)
+        fs;
+      exit 1
+
+(* Streaming-throughput regression check on the t7d rows. Throughput is
+   far noisier than the microsecond solver rows (disk cache state, CI
+   neighbours — ~20%% swings between back-to-back local runs), so the
+   threshold is relaxed to a 40%% floor: it catches the gross failures
+   this section exists for (a 2x slowdown, memory thrash) without
+   flapping on load noise. A missing committed row (first run on a
+   machine) is never a failure. *)
+let check_t7d rows =
+  let threshold = Float.max 40.0 (3.0 *. gate_threshold ()) in
+  let failures =
+    List.filter_map
+      (fun r ->
+        match prev_field "BENCH_fast.json" r.t7d_name "specs_per_s" with
+        | None -> None
+        | Some prev ->
+            let pct = (prev -. r.specs_per_s) /. prev *. 100.0 in
+            if pct > threshold then Some (r.t7d_name, prev, r.specs_per_s, pct)
+            else None)
+      rows
+  in
+  match failures with
+  | [] ->
+      note
+        "--check: no streaming row lost more than %.0f%% specs/s vs the committed \
+         BENCH_fast.json"
+        threshold
+  | fs ->
+      List.iter
+        (fun (name, prev, now, pct) ->
+          Printf.eprintf
+            "gate --check: %s specs_per_s regressed %.2f%% (%.0f -> %.0f, threshold \
+             %.0f%%)\n"
             name pct prev now threshold)
         fs;
       exit 1
@@ -395,6 +603,37 @@ let gate () =
     t7c_rows;
   Table.print t2;
   note "batch results byte-identical at every domain count: ok";
+  section
+    "GATE t7d — streaming batch: binary corpus through the bounded window \
+     (constant memory)";
+  let t7d_chunk, t7d_tune, t7d_rows = t7d () in
+  note "chunk autotune on a %d-spec warm-up slice: %s -> picked %d" t7d_warmup_specs
+    (String.concat ", "
+       (List.map (fun (c, w) -> Printf.sprintf "%d=%.0fms" c (w *. 1e3)) t7d_tune))
+    t7d_chunk;
+  let t3 =
+    Table.create
+      [
+        ("corpus", Table.Left); ("specs", Table.Right); ("chunk", Table.Right);
+        ("domains", Table.Right); ("wall", Table.Right); ("specs/s", Table.Right);
+        ("peak RSS", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t3
+        [
+          r.t7d_name; Table.fmt_int r.t7d_specs; Table.fmt_int r.t7d_chunk;
+          Table.fmt_int r.t7d_domains;
+          Printf.sprintf "%.2f s" r.t7d_wall_s;
+          Printf.sprintf "%.0f" r.specs_per_s;
+          (if r.peak_rss_kb = 0 then "n/a"
+           else Printf.sprintf "%d kB" r.peak_rss_kb);
+        ])
+    t7d_rows;
+  Table.print t3;
+  note "streamed results byte-identical at 1 domain and %d domains: ok"
+    (Engine.Pool.recommended_domain_count ());
   section "GATE obs — telemetry overhead + deterministic snapshot";
   let obs_row = obs_overhead rows in
   note "solver %s: disabled sinks %.2f ms, counters on %.2f ms (%+.2f%%)"
@@ -413,11 +652,15 @@ let gate () =
     t7c_instances
     (List.length (String.split_on_char '\n' (String.trim det_snapshot)))
     metrics_snapshot_path;
-  if !check_mode then check_rows rows;
+  if !check_mode then begin
+    check_rows rows;
+    check_t7d t7d_rows
+  end;
   check_regression obs_row;
   let path = "BENCH_fast.json" in
   write_json path
     (List.map json_of_row rows @ List.map json_of_t7c t7c_rows
+    @ List.map json_of_t7d t7d_rows
     @ [ json_of_obs obs_row ]);
   note
     "wrote %s (best of %d runs per shape/config; analytics = validate + \

@@ -403,7 +403,26 @@ let sas_cmd =
 (* --------------------------------------------------------------- export *)
 
 let export_cmd =
-  let run file what algo =
+  let run file what algo specs_bin =
+    match specs_bin with
+    | Some out ->
+        (* Corpus converter, not an instance exporter: FILE is a text spec
+           corpus for `sosctl batch`, compiled to the compact binary form
+           (strict — any malformed or @PATH spec aborts the conversion). *)
+        if file = "-" then begin
+          prerr_endline "sosctl export: --specs-bin needs a spec FILE (not stdin)";
+          2
+        end
+        else begin
+          match Workload.Specs.convert_to_binary ~src:file ~dst:out with
+          | Ok n ->
+              Printf.printf "wrote %d specs to %s\n" n out;
+              0
+          | Error msg ->
+              prerr_endline ("sosctl export: --specs-bin: " ^ msg);
+              2
+        end
+    | None ->
     load_instance file @@ fun inst ->
     (match what with
     | `Instance -> print_string (Sos.Export.instance_to_csv inst)
@@ -449,26 +468,50 @@ let export_cmd =
   in
   let algo = Arg.(value & opt algo_conv `Listing1 & info [ "algo"; "a" ]) in
   let file = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  let specs_bin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "specs-bin" ]
+          ~doc:
+            "Convert the batch spec corpus $(i,FILE) (text, one $(i,FAMILY N M \
+             [SCALE]) per line) to the compact binary form at $(docv) — 16 bytes \
+             per spec, autodetected by $(b,sosctl batch). Strict: malformed or \
+             \\@PATH specs abort the conversion."
+          ~docv:"OUT")
+  in
   Cmd.v
-    (Cmd.info "export" ~doc:"Export instances, schedules, traces as CSV.")
-    Term.(const run $ file $ what $ algo)
+    (Cmd.info "export"
+       ~doc:"Export instances, schedules, traces as CSV; compile spec corpora to binary.")
+    Term.(const run $ file $ what $ algo $ specs_bin)
 
 (* ---------------------------------------------------------------- batch *)
 
-(* Solve many instances on the Engine domain pool. Specs are newline-
-   delimited; results stream to stdout in spec order as they complete, one
-   line per instance, with no timing in the lines — so the output is
-   byte-identical at every -j (the acceptance check CI runs). Determinism
-   discipline: spec i's generator on attempt a is seeded by
-   (--seed, i, a), never by the domain that happens to solve it.
+(* Solve many instances on the Engine domain pool. Specs come from a
+   corpus file — newline-delimited text or the compact binary form, both
+   read through the autodetecting streaming reader (Workload.Specs) —
+   and results stream to stdout in spec order as they complete, one line
+   per instance, with no timing in the lines: the output is byte-identical
+   at every -j (the acceptance check CI runs) and identical between the
+   materialized and --stream paths. Determinism discipline: spec i's
+   generator on attempt a is seeded by (--seed, i, a), never by the domain
+   that happens to solve it.
+
+   Two execution paths share every moving part (solve, emit, journal):
+   - default: materialize the spec array, window = batch size (workers are
+     never throttled by a slow consumer);
+   - --stream: pull specs off the reader through Engine.Batch.stream_seq
+     under a bounded in-flight window (--window, default 4 x domains x
+     chunk), so a million-spec corpus runs in O(window) memory.
 
    Resilience (doc/ROBUSTNESS.md): per-spec failures become structured
    `<idx> error <class> line <l>: <msg>` lines; --retries/--task-timeout
    map onto Engine.Batch's bounded deterministic retry and cooperative
-   deadlines; --checkpoint journals every emitted line so a killed run
-   resumed with --resume replays the completed prefix byte-identically;
-   --chaos arms the seeded fault injector; SIGINT cancels the batch-wide
-   token and exits 130. *)
+   deadlines; --checkpoint journals every emitted line (sharded over
+   --shards files, flushed per --sync-every) so a killed run resumed with
+   --resume replays the completed prefix byte-identically; --chaos arms
+   the seeded fault injector; SIGINT cancels the batch-wide token and
+   exits 130. *)
 
 (* What a batch task hands back: a freshly solved instance, or a marker
    that its output line was already journaled by the interrupted run and
@@ -481,9 +524,118 @@ type batch_result =
 let payload_is_error line =
   match String.split_on_char ' ' line with _ :: "error" :: _ -> true | _ -> false
 
+(* Streamed aggregation for --summary: per-line stdout is suppressed and
+   every emitted line (fresh or replayed — so an interrupted-and-resumed
+   run summarizes identically to an uninterrupted one) is folded into a
+   ratio histogram, per-family means, and an error-class table, all in
+   O(families + classes) memory. Rendering sorts every table, so the
+   summary is deterministic at any -j. *)
+module Summary = struct
+  type fam = { mutable count : int; mutable ratio_sum : float; mutable mks_sum : float }
+
+  type t = {
+    mutable ok : int;
+    mutable err : int;
+    hist : int array; (* 20 buckets [1.00,2.00) step 0.05, + the >= 2 tail *)
+    fams : (string, fam) Hashtbl.t;
+    errs : (string, int ref) Hashtbl.t;
+  }
+
+  let create () =
+    { ok = 0; err = 0; hist = Array.make 21 0; fams = Hashtbl.create 16; errs = Hashtbl.create 8 }
+
+  (* Pull "key=value" out of a result line (the same fixed format emit
+     writes), so the aggregator needs no second result representation. *)
+  let field line key =
+    let pat = " " ^ key ^ "=" in
+    let plen = String.length pat in
+    let llen = String.length line in
+    let rec find i =
+      if i + plen > llen then None
+      else if String.sub line i plen = pat then begin
+        let start = i + plen in
+        let stop =
+          match String.index_from_opt line start ' ' with Some j -> j | None -> llen
+        in
+        Some (String.sub line start (stop - start))
+      end
+      else find (i + 1)
+    in
+    find 0
+
+  let float_field line key = Option.bind (field line key) float_of_string_opt
+
+  let add st line =
+    match String.split_on_char ' ' line with
+    | _ :: "ok" :: label :: _ ->
+        st.ok <- st.ok + 1;
+        let ratio = Option.value (float_field line "ratio") ~default:1.0 in
+        let mks = Option.value (float_field line "makespan") ~default:0.0 in
+        let b =
+          if ratio >= 2.0 then 20
+          else if ratio < 1.0 then 0
+          else int_of_float ((ratio -. 1.0) /. 0.05)
+        in
+        st.hist.(min b 20) <- st.hist.(min b 20) + 1;
+        let fam =
+          match Hashtbl.find_opt st.fams label with
+          | Some f -> f
+          | None ->
+              let f = { count = 0; ratio_sum = 0.0; mks_sum = 0.0 } in
+              Hashtbl.add st.fams label f;
+              f
+        in
+        fam.count <- fam.count + 1;
+        fam.ratio_sum <- fam.ratio_sum +. ratio;
+        fam.mks_sum <- fam.mks_sum +. mks
+    | _ :: "error" :: cls :: _ -> (
+        st.err <- st.err + 1;
+        match Hashtbl.find_opt st.errs cls with
+        | Some r -> incr r
+        | None -> Hashtbl.add st.errs cls (ref 1))
+    | _ -> ()
+
+  let sorted_bindings tbl = List.sort compare (List.of_seq (Hashtbl.to_seq tbl))
+
+  let render st =
+    Printf.printf "specs  %d\nok     %d\nerrors %d\n" (st.ok + st.err) st.ok st.err;
+    if st.ok > 0 then begin
+      print_string "ratio histogram (Theorem 3.3 bound):\n";
+      let peak = Array.fold_left max 1 st.hist in
+      Array.iteri
+        (fun b count ->
+          if count > 0 then begin
+            let label =
+              if b = 20 then ">=2.00        "
+              else
+                Printf.sprintf "[%.2f,%.2f)   "
+                  (1.0 +. (0.05 *. float_of_int b))
+                  (1.0 +. (0.05 *. float_of_int (b + 1)))
+            in
+            Printf.printf "  %s %-8d %s\n" label count
+              (String.make (max 1 (count * 40 / peak)) '#')
+          end)
+        st.hist;
+      print_string "per-family:\n";
+      List.iter
+        (fun (name, f) ->
+          Printf.printf "  %-20s %-8d mean-ratio %.4f  mean-makespan %.1f\n" name f.count
+            (f.ratio_sum /. float_of_int f.count)
+            (f.mks_sum /. float_of_int f.count))
+        (sorted_bindings st.fams)
+    end;
+    if st.err > 0 then begin
+      print_string "error classes:\n";
+      List.iter
+        (fun (cls, r) -> Printf.printf "  %-20s %d\n" cls !r)
+        (sorted_bindings st.errs)
+    end;
+    flush stdout
+end
+
 let batch_cmd =
   let run obs file jobs seed out_dir algo retries task_timeout checkpoint resume
-      verbose_errors chaos chaos_seed =
+      verbose_errors chaos chaos_seed stream_mode summary shards sync_every chunk win_opt =
     with_obs obs @@ fun () ->
     try
       if jobs < 1 then raise (Usage "-j must be >= 1");
@@ -493,6 +645,17 @@ let batch_cmd =
       | _ -> ());
       if resume && checkpoint = None then
         raise (Usage "--resume requires --checkpoint PATH");
+      if shards < 1 then raise (Usage "--shards must be >= 1");
+      if sync_every < 1 then raise (Usage "--sync-every must be >= 1");
+      if chunk < 1 then raise (Usage "--chunk must be >= 1");
+      (match win_opt with
+      | Some w when w < 1 -> raise (Usage "--window must be >= 1")
+      | _ -> ());
+      if stream_mode && checkpoint <> None && file = "-" then
+        raise
+          (Usage
+             "--stream with --checkpoint needs a spec FILE: the journal header digest \
+              takes a pass over the corpus before solving, and stdin cannot be re-read");
       (* Backtraces are only captured by the runtime when recording is on;
          --verbose-errors implies it so Task_exn backtraces are real. *)
       if verbose_errors then Printexc.record_backtrace true;
@@ -512,80 +675,53 @@ let batch_cmd =
           (match Robust.Chaos.arm ~seed:cseed spec with
           | Ok () -> ()
           | Error msg -> raise (Usage ("bad chaos spec: " ^ msg))));
-      (* Keep each spec's 1-based line number in the input, so a failure
-         deep inside a long @PATH spec file is locatable. *)
-      let specs =
-        (match read_input file with
-        | exception Sys_error msg -> raise (Usage msg)
-        | text -> text)
-        |> String.split_on_char '\n'
-        |> List.mapi (fun i l -> (i + 1, String.trim l))
-        |> List.filter (fun (_, l) -> l <> "" && not (String.starts_with ~prefix:"#" l))
-        |> Array.of_list
-      in
       (match out_dir with
       | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
       | _ -> ());
       let window = window_algo algo in
-      let solve idx spec =
+      let open_source () =
+        match file with
+        | "-" -> (
+            match Workload.Specs.of_channel stdin with
+            | Ok s -> s
+            | Error msg -> raise (Usage msg))
+        | path -> (
+            match Workload.Specs.open_path path with
+            | Ok s -> s
+            | Error msg -> raise (Usage msg))
+      in
+      let solve idx (r : Workload.Specs.record) =
         let open Robust.Failure in
         let label, inst =
-          if String.starts_with ~prefix:"@" spec then begin
-            let path = String.sub spec 1 (String.length spec - 1) in
-            let text =
-              match In_channel.with_open_text path In_channel.input_all with
-              | exception Sys_error msg -> raise (Invalid (Malformed msg))
-              | text -> text
-            in
-            match Sos.Instance.of_string_checked ~window text with
-            | Ok inst -> (path, inst)
-            | Error reason -> raise (Invalid reason)
-          end
-          else begin
-            let fields =
-              String.split_on_char ' ' spec |> List.filter (fun s -> s <> "")
-            in
-            match fields with
-            | family :: n :: m :: rest ->
-                let int_field what s =
-                  match int_of_string_opt s with
-                  | Some v when v >= 1 -> v
-                  | _ ->
-                      raise
-                        (Invalid
-                           (Malformed (Printf.sprintf "bad %s %S in spec %S" what s spec)))
-                in
-                let n = int_field "n" n and m = int_field "m" m in
-                let need = if window then 3 else 2 in
-                if m < need then raise (Invalid (Too_few_processors { m; need }));
-                let scale =
-                  match rest with
-                  | [] -> Workload.Sos_gen.default_scale
-                  | [ s ] -> int_field "scale" s
-                  | _ ->
-                      raise
-                        (Invalid (Malformed (Printf.sprintf "trailing fields in spec %S" spec)))
-                in
-                let family =
-                  match family_of_name family with
-                  | Ok f -> f
-                  | Error msg -> raise (Invalid (Malformed msg))
-                in
-                (* (--seed, index, attempt): a retried attempt re-derives
-                   its randomness deterministically at any -j. *)
-                let rng = Prelude.Rng.create3 seed idx (Robust.Context.attempt ()) in
-                let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
-                (match Sos.Instance.validate ~window inst with
-                | Ok _ -> ()
-                | Error reason -> raise (Invalid reason));
-                (family.Workload.Sos_gen.name, inst)
-            | _ ->
-                raise
-                  (Invalid
-                     (Malformed
-                        (Printf.sprintf
-                           "bad spec %S (want: <family> <n> <m> [scale], or @<file>)" spec)))
-          end
+          match r.payload with
+          | Workload.Specs.Bad msg -> raise (Invalid (Malformed msg))
+          | Workload.Specs.File path -> begin
+              let text =
+                match In_channel.with_open_text path In_channel.input_all with
+                | exception Sys_error msg -> raise (Invalid (Malformed msg))
+                | text -> text
+              in
+              match Sos.Instance.of_string_checked ~window text with
+              | Ok inst -> (path, inst)
+              | Error reason -> raise (Invalid reason)
+            end
+          | Workload.Specs.Gen { family; n; m; scale } ->
+              let need = if window then 3 else 2 in
+              if m < need then raise (Invalid (Too_few_processors { m; need }));
+              let family =
+                match family_of_name family with
+                | Ok f -> f
+                | Error msg -> raise (Invalid (Malformed msg))
+              in
+              let scale = Option.value scale ~default:Workload.Sos_gen.default_scale in
+              (* (--seed, index, attempt): a retried attempt re-derives
+                 its randomness deterministically at any -j. *)
+              let rng = Prelude.Rng.create3 seed idx (Robust.Context.attempt ()) in
+              let inst = Workload.Sos_gen.generate rng family ~n ~m ~scale () in
+              (match Sos.Instance.validate ~window inst with
+              | Ok _ -> ()
+              | Error reason -> raise (Invalid reason));
+              (family.Workload.Sos_gen.name, inst)
         in
         let preemptive, sched = run_algo algo inst in
         (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
@@ -597,119 +733,196 @@ let batch_cmd =
         Solved (label, inst, sched)
       in
       (* The checkpoint header binds the journal to one run configuration:
-         resuming under a different seed, algorithm, or spec list must be
-         refused, not silently mixed. *)
-      let header =
-        Printf.sprintf "sosj1 seed=%d algo=%s specs=%s" seed (algo_name algo)
-          (Robust.Journal.digest
-             (String.concat "\n" (Array.to_list (Array.map snd specs))))
+         resuming under a different seed, algorithm, or spec corpus must be
+         refused, not silently mixed. The digest is the chained canonical
+         record digest (Workload.Specs), identical for a text corpus and
+         its binary conversion. *)
+      let header_of digest =
+        Printf.sprintf "sosj1 seed=%d algo=%s specs=%s" seed (algo_name algo) digest
       in
-      let replay = Hashtbl.create 16 in
-      let journal =
+      let open_journal header =
         match checkpoint with
         | None -> None
         | Some path ->
             if resume then begin
-              (match Robust.Journal.load ~path ~header with
+              match
+                Robust.Journal.Sharded.resume ~path ~shards ~sync_every ~header ()
+              with
               | Error msg -> raise (Usage ("cannot resume: " ^ msg))
-              | Ok entries ->
-                  List.iter
-                    (fun (e : Robust.Journal.entry) ->
-                      if e.index < Array.length specs then
-                        Hashtbl.replace replay e.index e.payload)
-                    entries);
-              Some
-                (if Sys.file_exists path then Robust.Journal.reopen ~path
-                 else Robust.Journal.create ~path ~header)
+              | Ok j -> Some j
             end
-            else Some (Robust.Journal.create ~path ~header)
+            else Some (Robust.Journal.Sharded.start ~path ~shards ~sync_every ~header ())
       in
       let batch_token = Robust.Cancel.create () in
       let prev_sigint =
         Sys.signal Sys.sigint
           (Sys.Signal_handle (fun _ -> Robust.Cancel.cancel batch_token))
       in
-      let tasks =
-        Array.mapi
-          (fun i (_line, spec) () ->
-            if Hashtbl.mem replay i then Replayed else solve i spec)
-          specs
-      in
       let failures = ref 0 in
-      let journal_line idx line =
-        match journal with
-        | None -> ()
-        | Some oc -> Robust.Journal.append oc ~index:idx ~payload:line
+      let summary_state = if summary then Some (Summary.create ()) else None in
+      let emit_line ~journal ~fresh idx line =
+        (match summary_state with
+        | Some st -> Summary.add st line
+        | None ->
+            print_endline line;
+            flush stdout);
+        if fresh then
+          match journal with
+          | Some j -> Robust.Journal.Sharded.append j ~index:idx ~payload:line
+          | None -> ()
       in
-      let emit idx (outcome : batch_result Engine.Batch.outcome) =
-        match Hashtbl.find_opt replay idx with
-        | Some payload ->
-            if payload_is_error payload then incr failures;
-            print_endline payload;
-            flush stdout
-        | None -> (
-            match outcome with
-            | Ok Replayed -> assert false
-            | Ok (Solved (label, inst, sched)) ->
-                (match out_dir with
-                | Some dir ->
-                    Out_channel.with_open_text
-                      (Printf.sprintf "%s/batch-%04d.csv" dir idx)
-                      (fun oc ->
-                        Out_channel.output_string oc
-                          (Sos.Export.schedule_to_csv_rle sched))
-                | None -> ());
-                let line =
-                  Printf.sprintf "%d ok %s n=%d m=%d makespan=%d lb=%d ratio=%.4f blocks=%d"
-                    idx label (Sos.Instance.n inst) inst.Sos.Instance.m
-                    sched.Sos.Schedule.makespan
-                    (Sos.Bounds.lower_bound inst)
-                    (Sos.Bounds.theorem_3_3_bound inst
-                       ~makespan:sched.Sos.Schedule.makespan)
-                    (List.length sched.Sos.Schedule.steps)
+      let emit ~journal ~recno_of idx (outcome : batch_result Engine.Batch.outcome) =
+        match outcome with
+        | Ok Replayed -> (
+            match journal with
+            | None -> ()
+            | Some j -> (
+                match Robust.Journal.Sharded.replay j idx with
+                | None -> ()
+                | Some payload ->
+                    if payload_is_error payload then incr failures;
+                    emit_line ~journal ~fresh:false idx payload))
+        | Ok (Solved (label, inst, sched)) ->
+            (match out_dir with
+            | Some dir ->
+                Out_channel.with_open_text
+                  (Printf.sprintf "%s/batch-%04d.csv" dir idx)
+                  (fun oc ->
+                    Out_channel.output_string oc (Sos.Export.schedule_to_csv_rle sched))
+            | None -> ());
+            let line =
+              Printf.sprintf "%d ok %s n=%d m=%d makespan=%d lb=%d ratio=%.4f blocks=%d"
+                idx label (Sos.Instance.n inst) inst.Sos.Instance.m
+                sched.Sos.Schedule.makespan
+                (Sos.Bounds.lower_bound inst)
+                (Sos.Bounds.theorem_3_3_bound inst ~makespan:sched.Sos.Schedule.makespan)
+                (List.length sched.Sos.Schedule.steps)
+            in
+            emit_line ~journal ~fresh:true idx line
+        | Error (e : Engine.Batch.error) -> (
+            match e.failure with
+            | Robust.Failure.Cancelled ->
+                (* Interrupted, not failed: no line, no journal entry —
+                   --resume re-runs it. *)
+                ()
+            | failure ->
+                incr failures;
+                let message =
+                  String.map (function '\n' | '\r' -> ' ' | c -> c) e.message
                 in
-                print_endline line;
-                flush stdout;
-                journal_line idx line
-            | Error (e : Engine.Batch.error) -> (
-                match e.failure with
-                | Robust.Failure.Cancelled ->
-                    (* Interrupted, not failed: no line, no journal entry —
-                       --resume re-runs it. *)
-                    ()
-                | failure ->
-                    incr failures;
-                    let message =
-                      String.map
-                        (function '\n' | '\r' -> ' ' | c -> c)
-                        e.message
-                    in
-                    let input_line, _ = specs.(idx) in
-                    let line =
-                      Printf.sprintf "%d error %s line %d: %s" idx
-                        (Robust.Failure.class_name failure) input_line message
-                    in
-                    print_endline line;
-                    flush stdout;
-                    journal_line idx line;
-                    if verbose_errors then begin
-                      Printf.eprintf "batch: task %d (line %d) failed after %d attempt%s: %s\n"
-                        idx input_line e.attempts
-                        (if e.attempts = 1 then "" else "s")
-                        (Robust.Failure.to_string failure);
-                      if e.backtrace <> "" then prerr_string e.backtrace;
-                      flush stderr
-                    end))
+                let line =
+                  Printf.sprintf "%d error %s line %d: %s" idx
+                    (Robust.Failure.class_name failure) (recno_of idx) message
+                in
+                emit_line ~journal ~fresh:true idx line;
+                if verbose_errors then begin
+                  Printf.eprintf "batch: task %d (line %d) failed after %d attempt%s: %s\n"
+                    idx (recno_of idx) e.attempts
+                    (if e.attempts = 1 then "" else "s")
+                    (Robust.Failure.to_string failure);
+                  if e.backtrace <> "" then prerr_string e.backtrace;
+                  flush stderr
+                end)
       in
-      Obs.Trace.with_span ~cat:"cli" "batch"
-        ~args:[ ("specs", Obs.Trace.I (Array.length specs)); ("domains", Obs.Trace.I jobs) ]
-        (fun () ->
-          Engine.Pool.with_pool ~domains:jobs (fun pool ->
-              Engine.Batch.stream pool tasks ~retries ?task_timeout
-                ~cancel:batch_token ~f:emit));
+      let replayed journal i =
+        match journal with Some j -> Robust.Journal.Sharded.mem j i | None -> false
+      in
+      let journal_ref = ref None in
+      if stream_mode then begin
+        (* Constant-memory path: the corpus is never materialized. The
+           journal header digest (when checkpointing) is one extra
+           streaming pass over the file before solving begins. *)
+        let header =
+          match checkpoint with
+          | None -> header_of ""
+          | Some _ -> (
+              match Workload.Specs.digest_of_path file with
+              | Ok d -> header_of d
+              | Error msg -> raise (Usage msg))
+        in
+        let journal = open_journal header in
+        journal_ref := Some journal;
+        let src = open_source () in
+        Fun.protect
+          ~finally:(fun () -> Workload.Specs.close src)
+          (fun () ->
+            let win =
+              match win_opt with
+              | Some w -> max chunk w
+              | None -> max 1 (4 * jobs * chunk)
+            in
+            (* recnos ring: written by the producer, read by emit — both on
+               the calling thread, at most [win] indices apart. *)
+            let recnos = Array.make win 0 in
+            let producer i =
+              if Robust.Cancel.cancelled batch_token then None
+              else
+                match Workload.Specs.read src with
+                | None -> None
+                | Some r ->
+                    recnos.(i mod win) <- r.Workload.Specs.recno;
+                    let skip = replayed journal i in
+                    Some (fun () -> if skip then Replayed else solve i r)
+            in
+            Obs.Trace.with_span ~cat:"cli" "batch"
+              ~args:[ ("domains", Obs.Trace.I jobs); ("window", Obs.Trace.I win) ]
+              (fun () ->
+                Engine.Pool.with_pool ~domains:jobs (fun pool ->
+                    ignore
+                      (Engine.Batch.stream_seq pool ~chunk ~window:win ~retries
+                         ?task_timeout ~cancel:batch_token producer
+                         ~f:(emit ~journal ~recno_of:(fun idx -> recnos.(idx mod win)))))))
+      end
+      else begin
+        (* Materialized path: collect the records (computing the digest in
+           the same pass) and run with window = batch size, so workers are
+           never throttled by a slow consumer. *)
+        let records, digest =
+          let src = open_source () in
+          Fun.protect
+            ~finally:(fun () -> Workload.Specs.close src)
+            (fun () ->
+              let st = Workload.Specs.digest_create () in
+              let acc = ref [] in
+              let rec go () =
+                match Workload.Specs.read src with
+                | None -> ()
+                | Some r ->
+                    Workload.Specs.digest_line st (Workload.Specs.canonical r);
+                    acc := r :: !acc;
+                    go ()
+              in
+              go ();
+              (Array.of_list (List.rev !acc), Workload.Specs.digest_finish st))
+        in
+        let journal = open_journal (header_of digest) in
+        journal_ref := Some journal;
+        let n = Array.length records in
+        let producer i =
+          if i >= n then None
+          else begin
+            let r = records.(i) in
+            let skip = replayed journal i in
+            Some (fun () -> if skip then Replayed else solve i r)
+          end
+        in
+        Obs.Trace.with_span ~cat:"cli" "batch"
+          ~args:[ ("specs", Obs.Trace.I n); ("domains", Obs.Trace.I jobs) ]
+          (fun () ->
+            Engine.Pool.with_pool ~domains:jobs (fun pool ->
+                ignore
+                  (Engine.Batch.stream_seq pool ~chunk ~window:(max n 1) ~retries
+                     ?task_timeout ~cancel:batch_token producer
+                     ~f:
+                       (emit ~journal
+                          ~recno_of:(fun idx -> records.(idx).Workload.Specs.recno)))))
+      end;
       Sys.set_signal Sys.sigint prev_sigint;
-      (match journal with Some oc -> Out_channel.close oc | None -> ());
+      (match !journal_ref with
+      | Some (Some j) -> Robust.Journal.Sharded.close j
+      | _ -> ());
       Robust.Chaos.disarm ();
+      (match summary_state with Some st -> Summary.render st | None -> ());
       if Robust.Cancel.cancelled batch_token then 130
       else if !failures > 0 then 1
       else 0
@@ -722,10 +935,11 @@ let batch_cmd =
       value & pos 0 string "-"
       & info [] ~docv:"SPECS"
           ~doc:
-            "Newline-delimited instance specs (file or - for stdin). Each line is \
-             $(i,FAMILY N M [SCALE]) — generated deterministically from (--seed, \
-             line index, attempt) — or $(i,@PATH), an instance file. Blank lines \
-             and # comments are skipped.")
+            "Instance spec corpus (file or - for stdin): newline-delimited text — \
+             each line $(i,FAMILY N M [SCALE]), generated deterministically from \
+             (--seed, record index, attempt), or $(i,@PATH), an instance file; \
+             blank lines and # comments are skipped — or the compact binary form \
+             written by $(b,sosctl export --specs-bin) (autodetected by magic).")
   in
   let jobs =
     Arg.(
@@ -773,8 +987,9 @@ let batch_cmd =
       & opt (some string) None
       & info [ "checkpoint" ]
           ~doc:
-            "Append every emitted result line to a journal at $(docv) (flushed \
-             per line), enabling --resume after a crash or kill."
+            "Append every emitted result line to a journal at $(docv) (sharded \
+             over --shards files, flushed per --sync-every), enabling --resume \
+             after a crash or kill."
           ~docv:"PATH")
   in
   let resume =
@@ -785,7 +1000,8 @@ let batch_cmd =
             "Replay results journaled at --checkpoint $(i,PATH) verbatim and solve \
              only the remaining specs; the concatenated stdout of the killed run \
              and this one is byte-identical to an uninterrupted run. Refused if \
-             the journal header (seed, algorithm, spec digest) does not match.")
+             the journal header (seed, algorithm, spec digest, shard count) does \
+             not match.")
   in
   let verbose_errors =
     Arg.(
@@ -815,15 +1031,78 @@ let batch_cmd =
           ~doc:"Seed for probabilistic chaos draws (default $(b,\\$SOS_CHAOS_SEED) or 0)."
           ~docv:"N")
   in
+  let stream_mode =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Constant-memory pipeline: pull specs off the corpus reader through a \
+             bounded in-flight window instead of materializing them, so peak RSS \
+             is independent of corpus size. Output is byte-identical to the \
+             default path at any -j.")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Suppress per-spec result lines and print an aggregate instead: ratio \
+             histogram, per-family counts/means, error-class table. Aggregation \
+             streams (O(1) memory) and includes replayed lines, so a resumed run \
+             summarizes identically to an uninterrupted one.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Shard the checkpoint journal over $(docv) files ($(i,PATH.k), entry i \
+             in shard i mod $(docv); 1 = the single-file format). A journal must \
+             be resumed with the shard count it was written with."
+          ~docv:"N")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ]
+          ~doc:
+            "Flush each journal shard every $(docv) appends (default 1 = every \
+             entry). Larger values trade up to $(docv)-1 re-run specs per shard \
+             after a kill for sequential-write throughput."
+          ~docv:"K")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 1
+      & info [ "chunk" ]
+          ~doc:
+            "Consecutive specs per queued unit of pool work (default 1). Larger \
+             chunks amortize queue synchronization for sub-millisecond specs; \
+             output bytes never change."
+          ~docv:"C")
+  in
+  let win_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ]
+          ~doc:
+            "With --stream: max specs in flight between producer and ordered \
+             emission (default 4 x domains x chunk). Peak RSS grows with \
+             $(docv); output bytes never change."
+          ~docv:"W")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Solve a stream of instances on the multicore pool (results stream in \
           input order; deterministic at any -j; per-spec failures become \
-          structured error lines).")
+          structured error lines; --stream for constant-memory million-spec \
+          corpora).")
     Term.(
       const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo $ retries
-      $ task_timeout $ checkpoint $ resume $ verbose_errors $ chaos $ chaos_seed)
+      $ task_timeout $ checkpoint $ resume $ verbose_errors $ chaos $ chaos_seed
+      $ stream_mode $ summary $ shards $ sync_every $ chunk $ win_opt)
 
 (* ------------------------------------------------------------- hardness *)
 

@@ -98,26 +98,60 @@ let map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks =
 let map ?domains ?chunk ?retries ?task_timeout ?cancel tasks =
   Pool.with_pool ?domains (fun pool -> map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks)
 
-let stream pool ?chunk ?retries ?task_timeout ?cancel tasks ~f =
-  let n = Array.length tasks in
-  let slots = Array.make n None in
-  Pool.run_ordered pool ?chunk n
-    ~run:(fun i -> slots.(i) <- Some (protect ?retries ?task_timeout ?cancel i tasks.(i)))
+(* Outcomes travel from worker to caller through a ring of [window] slots:
+   task i writes slot (i mod window), emit i reads and clears it. Slot
+   reuse is safe because task (i + window) is only supplied after emit i
+   (the pool's in-flight bound), and the pool's completion handshake makes
+   the worker's write visible to the caller. *)
+let stream_seq pool ?(chunk = 1) ?window ?retries ?task_timeout ?cancel producer ~f =
+  let chunk = max 1 chunk in
+  let window =
+    match window with
+    | None -> 4 * Pool.domains pool * chunk
+    | Some w -> max chunk (max 1 w)
+  in
+  let slots = Array.make window None in
+  Pool.run_ordered_seq pool ~chunk ~window
+    (fun i ->
+      match producer i with
+      | None -> None
+      | Some task ->
+          Some
+            (fun () ->
+              slots.(i mod window) <-
+                Some (protect ?retries ?task_timeout ?cancel i task)))
     ~emit:(fun i ->
-      match slots.(i) with
+      match slots.(i mod window) with
       | Some r ->
-          slots.(i) <- None;
+          slots.(i mod window) <- None;
           f i r
       | None ->
-          (* run_ordered guarantees run i completed before emit i *)
-          assert false)
+          (* protect never raises, so the slot is always filled; this is a
+             backstop for a task the pool machinery lost entirely. *)
+          f i (Error (never_ran i)))
+
+let stream pool ?chunk ?retries ?task_timeout ?cancel tasks ~f =
+  (* window = n keeps the materialized path's semantics: workers are never
+     throttled by a slow consumer, exactly as before the streaming rebuild. *)
+  let n = Array.length tasks in
+  ignore
+    (stream_seq pool ?chunk ~window:(max n 1) ?retries ?task_timeout ?cancel
+       (fun i -> if i < n then Some tasks.(i) else None)
+       ~f)
 
 let map_reduce ?domains ?chunk ?retries ?task_timeout ?cancel ~reduce ~init tasks =
-  Array.fold_left
-    (fun acc r ->
-      match (acc, r) with
-      | (Error _ as e), _ -> e
-      | Ok _, Error e -> Error e
-      | Ok a, Ok v -> Ok (reduce a v))
-    (Ok init)
-    (map ?domains ?chunk ?retries ?task_timeout ?cancel tasks)
+  (* Folded on the streaming path: the accumulator is threaded through emit
+     in submission order, so memory stays O(window) instead of one
+     materialized outcome array — only the first error is kept. *)
+  let n = Array.length tasks in
+  Pool.with_pool ?domains (fun pool ->
+      let acc = ref (Ok init) in
+      ignore
+        (stream_seq pool ?chunk ?retries ?task_timeout ?cancel
+           (fun i -> if i < n then Some tasks.(i) else None)
+           ~f:(fun _ r ->
+             match (!acc, r) with
+             | Error _, _ -> ()
+             | Ok _, Error e -> acc := Error e
+             | Ok a, Ok v -> acc := Ok (reduce a v)));
+      !acc)

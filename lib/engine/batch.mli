@@ -70,6 +70,31 @@ val stream :
     increasing index order, as each prefix of the batch completes — early
     results are consumed while later tasks are still running. *)
 
+val stream_seq :
+  Pool.t ->
+  ?chunk:int ->
+  ?window:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?cancel:Robust.Cancel.t ->
+  (int -> (unit -> 'a) option) ->
+  f:(int -> 'a outcome -> unit) ->
+  int
+(** [stream_seq pool producer ~f] is the pull-based, constant-memory
+    batch: [producer i] is called on the calling thread, strictly in
+    increasing index order and exactly once per index, until it returns
+    [None] — so a producer can pull specs straight off a file reader — and
+    [f i outcome_i] is called on the calling thread in increasing index
+    order. Returns the number of tasks produced.
+
+    At most [window] tasks (default [4 * domains * chunk], clamped up to
+    [chunk]) are in flight between producer and consumer, so memory is
+    O(window) regardless of stream length. The determinism contract is
+    unchanged: task randomness keyed on the submission index (e.g.
+    {!Prelude.Rng.create2}/[create3]) makes the emitted sequence
+    byte-identical at any domain count, and [?retries]/[?task_timeout]/
+    [?cancel] behave exactly as in {!map}. *)
+
 val map_reduce :
   ?domains:int ->
   ?chunk:int ->
@@ -80,6 +105,8 @@ val map_reduce :
   init:'acc ->
   (unit -> 'a) array ->
   ('acc, error) result
-(** Parallel map, then a sequential fold in submission order (so the
-    reduction is deterministic even when [reduce] is not commutative).
-    The first failing task short-circuits to its [Error]. *)
+(** Parallel map folded on the streaming path — the accumulator is
+    threaded through ordered emission, so memory stays O(window) instead
+    of one materialized outcome array. The fold order is submission order
+    (so the reduction is deterministic even when [reduce] is not
+    commutative), and the first failing task's [Error] is returned. *)

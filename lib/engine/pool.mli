@@ -42,6 +42,32 @@ val run_ordered :
     on the caller and may print / write files. Memory written by [run i]
     is visible to [emit i] (the completion handshake synchronizes). *)
 
+val run_ordered_seq :
+  t ->
+  ?chunk:int ->
+  ?window:int ->
+  (int -> (unit -> unit) option) ->
+  emit:(int -> unit) ->
+  int
+(** [run_ordered_seq t ~chunk ~window supply ~emit] is the pull-based,
+    constant-memory variant of {!run_ordered} for batches whose size is
+    unknown up front (a spec file being streamed off disk). The pool calls
+    [supply i] on the calling thread, strictly in increasing index order
+    and exactly once per index, until it returns [None]; each supplied
+    thunk runs on the worker domains ([chunk] consecutive thunks per
+    queued task), and [emit i] is called on the calling thread in
+    increasing index order. Returns the number of tasks supplied.
+
+    At most [window] tasks are in flight (supplied but not yet emitted) at
+    any moment — the producer is only pulled when there is window room, so
+    memory stays O(window) no matter how long the stream is. [window]
+    defaults to [4 * domains * chunk] and is clamped up to [chunk].
+
+    Determinism contract as {!run_ordered}: which domain runs a task and
+    when is unobservable; [supply] and [emit] both run on the caller, so a
+    stateful producer (a file reader) and a stateful consumer need no
+    locking. Memory written by task [i] is visible to [emit i]. *)
+
 val shutdown : t -> unit
 (** Drain the queue, stop and join all workers. Idempotent. Using the pool
     afterwards raises [Robust.Failure.Pool_down] instead of deadlocking.

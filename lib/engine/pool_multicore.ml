@@ -139,58 +139,103 @@ let submit t task =
   Condition.signal t.not_empty;
   Mutex.unlock t.lock
 
-let run_ordered t ?(chunk = 1) n ~run ~emit =
-  if n < 0 then
-    invalid_arg "Engine.Pool.run_ordered: n < 0"
-    [@sos.allow "R6: entry-point argument contract, checked before any task is queued"];
-  if t.stop then raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered after shutdown");
-  if n = 0 then ()
-  else if t.workers = [] then
-    (* The exact sequential path: no queue, no synchronization. *)
-    for i = 0 to n - 1 do
-      Obs.Metrics.incr c_tasks;
-      (try run i with _ -> ());
-      emit i
-    done
+(* The windowed streaming driver behind both run_ordered_seq (pull-based,
+   unknown length) and run_ordered (n known, window = n reproduces the
+   submit-everything-then-emit behaviour). Completion is tracked in a ring
+   of [window] slots: slot [i mod window] is reused by task [i + window],
+   which cannot be supplied before task [i] was emitted (the in-flight
+   bound), so a cleared slot is never observed stale. *)
+let run_ordered_seq t ?(chunk = 1) ?window supply ~emit =
+  if t.stop then
+    raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered_seq after shutdown");
+  let chunk = max 1 chunk in
+  if t.workers = [] then begin
+    (* The exact sequential path: pull, run, emit, one index at a time. *)
+    let rec go i =
+      match supply i with
+      | None -> i
+      | Some task ->
+          Obs.Metrics.incr c_tasks;
+          (try task () with _ -> ());
+          emit i;
+          go (i + 1)
+    in
+    go 0
+  end
   else begin
-    let chunk = max 1 chunk in
-    let completed = Array.make n false in
+    let window =
+      match window with
+      | None -> 4 * t.domains * chunk
+      | Some w -> max chunk (max 1 w)
+    in
+    let completed = Array.make window false in
     let lock = Mutex.create () in
     let ready = Condition.create () in
     let mark lo hi =
       Mutex.lock lock;
       for i = lo to hi - 1 do
-        completed.(i) <- true
+        completed.(i mod window) <- true
       done;
       Condition.broadcast ready;
       Mutex.unlock lock
     in
-    let rec submit_from lo =
-      if lo < n then begin
-        let hi = min n (lo + chunk) in
-        submit t (fun () ->
-            (try
-               for i = lo to hi - 1 do
-                 Obs.Metrics.incr c_tasks;
-                 run i
-               done
-             with _ -> ());
-            mark lo hi);
-        submit_from hi
-      end
-    in
-    submit_from 0;
-    let next = ref 0 in
-    while !next < n do
-      Mutex.lock lock;
-      while not completed.(!next) do
-        Condition.wait ready lock
+    let next_submit = ref 0 in
+    let next_emit = ref 0 in
+    let exhausted = ref false in
+    (* Pull up to [k] thunks from the producer, caller-side. *)
+    let pull k =
+      let acc = ref [] in
+      let cnt = ref 0 in
+      while !cnt < k && not !exhausted do
+        match supply (!next_submit + !cnt) with
+        | None -> exhausted := true
+        | Some f ->
+            acc := f :: !acc;
+            incr cnt
       done;
-      Mutex.unlock lock;
-      emit !next;
-      incr next
-    done
+      Array.of_list (List.rev !acc)
+    in
+    while (not !exhausted) || !next_emit < !next_submit do
+      let inflight = !next_submit - !next_emit in
+      if (not !exhausted) && inflight < window then begin
+        let thunks = pull (min chunk (window - inflight)) in
+        let k = Array.length thunks in
+        if k > 0 then begin
+          let lo = !next_submit in
+          next_submit := lo + k;
+          submit t (fun () ->
+              (try
+                 Array.iter
+                   (fun f ->
+                     Obs.Metrics.incr c_tasks;
+                     f ())
+                   thunks
+               with _ -> ());
+              mark lo (lo + k))
+        end
+      end
+      else begin
+        Mutex.lock lock;
+        while not completed.(!next_emit mod window) do
+          Condition.wait ready lock
+        done;
+        completed.(!next_emit mod window) <- false;
+        Mutex.unlock lock;
+        emit !next_emit;
+        incr next_emit
+      end
+    done;
+    !next_emit
   end
+
+let run_ordered t ?chunk n ~run ~emit =
+  if n < 0 then
+    invalid_arg "Engine.Pool.run_ordered: n < 0"
+    [@sos.allow "R6: entry-point argument contract, checked before any task is queued"];
+  ignore
+    (run_ordered_seq t ?chunk ~window:(max n 1)
+       (fun i -> if i < n then Some (fun () -> run i) else None)
+       ~emit)
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -39,6 +39,25 @@ let run_ordered t ?chunk n ~run ~emit =
     emit i
   done
 
+(* Pull-based streaming variant: on the sequential pool the window is
+   irrelevant (one task is ever in flight), so it reduces to a pull, run,
+   emit loop — exactly the d = 1 path of the multicore pool. *)
+let run_ordered_seq t ?chunk ?window supply ~emit =
+  ignore chunk;
+  ignore window;
+  if t.stop then
+    raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered_seq after shutdown");
+  let rec go i =
+    match supply i with
+    | None -> i
+    | Some task ->
+        Obs.Metrics.incr c_tasks;
+        (try task () with _ -> ());
+        emit i;
+        go (i + 1)
+  in
+  go 0
+
 let shutdown t = t.stop <- true
 
 let with_pool ?domains f =

@@ -20,21 +20,32 @@ let parse_entry line =
         end
     end
 
+let header_mismatch path got expected =
+  Printf.sprintf
+    "checkpoint %s was written by a different run configuration (header %S, expected %S)" path
+    got expected
+
+(* Stream [f] over the entry lines (everything after the header), one line
+   at a time — a journal is loaded in O(longest line) memory no matter how
+   many entries it holds. *)
+let fold_entries ~path ~header ~init ~f =
+  if not (Sys.file_exists path) then Ok init
+  else
+    In_channel.with_open_text path (fun ic ->
+        match In_channel.input_line ic with
+        | None -> Ok init (* empty file: nothing recorded yet *)
+        | Some got when not (String.equal got header) -> Error (header_mismatch path got header)
+        | Some _ ->
+            let rec go acc =
+              match In_channel.input_line ic with
+              | None -> Ok acc
+              | Some line -> (
+                  match parse_entry line with Some e -> go (f acc e) | None -> go acc)
+            in
+            go init)
+
 let load ~path ~header =
-  if not (Sys.file_exists path) then Ok []
-  else begin
-    let body = In_channel.with_open_text path In_channel.input_all in
-    match String.split_on_char '\n' body with
-    | [] | [ "" ] -> Ok []
-    | got_header :: entries ->
-        if not (String.equal got_header header) then
-          Error
-            (Printf.sprintf
-               "checkpoint %s was written by a different run configuration (header %S, \
-                expected %S)"
-               path got_header header)
-        else Ok (List.filter_map parse_entry entries)
-  end
+  Result.map List.rev (fold_entries ~path ~header ~init:[] ~f:(fun acc e -> e :: acc))
 
 let create ~path ~header =
   let oc = Out_channel.open_text path in
@@ -42,25 +53,227 @@ let create ~path ~header =
   Out_channel.flush oc;
   oc
 
-let reopen ~path =
-  (* A process killed mid-append can leave a torn final line with no
-     newline; appending straight after it would glue the next entry onto
-     the torn one and corrupt both. Trim back to the last complete line
-     before appending. *)
-  (match In_channel.with_open_bin path In_channel.input_all with
+(* A process killed mid-append can leave a torn final line with no newline;
+   appending straight after it would glue the next entry onto the torn one
+   and corrupt both. Scan forward in fixed-size chunks tracking the offset
+   just past the last newline — O(1) memory on journals of any size — and
+   trim back to the last complete line. *)
+let truncate_torn_tail path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let buf = Bytes.create 65536 in
+        let keep = ref 0 in
+        let pos = ref 0 in
+        let rec go () =
+          let k = In_channel.input ic buf 0 (Bytes.length buf) in
+          if k > 0 then begin
+            for i = 0 to k - 1 do
+              if Bytes.get buf i = '\n' then keep := !pos + i + 1
+            done;
+            pos := !pos + k;
+            go ()
+          end
+        in
+        go ();
+        (!keep, !pos))
+  with
   | exception Sys_error _ -> ()
-  | body ->
-      let len = String.length body in
-      if len > 0 && body.[len - 1] <> '\n' then
-        let keep = match String.rindex_opt body '\n' with Some i -> i + 1 | None -> 0 in
-        Unix.truncate path keep);
+  | keep, total -> if total > keep then Unix.truncate path keep
+
+let reopen ~path =
+  truncate_torn_tail path;
   Out_channel.open_gen [ Open_append; Open_text ] 0o644 path
 
-let append oc ~index ~payload =
+let output_entry oc ~index ~payload =
   if String.contains payload '\n' then
     invalid_arg "Robust.Journal.append: payload contains newline"
     [@sos.allow
       "R6: caller-side framing contract (suite_robust pins it); a taxonomy failure here would \
        be journalled into the very file whose framing the check protects"];
-  Out_channel.output_string oc (Printf.sprintf "%d %s %s\n" index (digest payload) payload);
+  Out_channel.output_string oc (Printf.sprintf "%d %s %s\n" index (digest payload) payload)
+
+let append oc ~index ~payload =
+  output_entry oc ~index ~payload;
   Out_channel.flush oc
+
+module Sharded = struct
+  (* Growable bitset over task indices; one bit per completed index. A
+     million-spec journal resumes into 125 KB, not a million-entry list. *)
+  module Bitset = struct
+    type t = { mutable bits : Bytes.t; mutable count : int }
+
+    let make () = { bits = Bytes.create 0; count = 0 }
+
+    let mem t i =
+      let byte = i lsr 3 in
+      byte < Bytes.length t.bits && Char.code (Bytes.get t.bits byte) land (1 lsl (i land 7)) <> 0
+
+    let add t i =
+      let byte = i lsr 3 in
+      let len = Bytes.length t.bits in
+      if byte >= len then begin
+        let bits = Bytes.make (max (byte + 1) ((2 * len) + 64)) '\000' in
+        Bytes.blit t.bits 0 bits 0 len;
+        t.bits <- bits
+      end;
+      let b = Char.code (Bytes.get t.bits byte) in
+      if b land (1 lsl (i land 7)) = 0 then begin
+        Bytes.set t.bits byte (Char.chr (b lor (1 lsl (i land 7))));
+        t.count <- t.count + 1
+      end
+  end
+
+  type t = {
+    base : string;
+    shards : int;
+    sync_every : int;
+    outs : Out_channel.t array;
+    pending : int array; (* unflushed appends per shard *)
+    done_ : Bitset.t; (* indices completed by the interrupted run *)
+    cursors : In_channel.t option array; (* lazy per-shard replay readers *)
+  }
+
+  let shard_path base k shards = if shards = 1 then base else Printf.sprintf "%s.%d" base k
+
+  let shard_header header k shards =
+    if shards = 1 then header else Printf.sprintf "%s shard=%d/%d" header k shards
+
+  let shards t = t.shards
+  let paths t = Array.init t.shards (fun k -> shard_path t.base k t.shards)
+  let mem t index = index >= 0 && Bitset.mem t.done_ index
+  let completed t = t.done_.Bitset.count
+
+  let start ~path ?(shards = 1) ?(sync_every = 1) ~header () =
+    let shards = max 1 shards in
+    {
+      base = path;
+      shards;
+      sync_every = max 1 sync_every;
+      outs =
+        Array.init shards (fun k ->
+            create ~path:(shard_path path k shards) ~header:(shard_header header k shards));
+      pending = Array.make shards 0;
+      done_ = Bitset.make ();
+      cursors = Array.make shards None;
+    }
+
+  let resume ~path ?(shards = 1) ?(sync_every = 1) ~header () =
+    let shards = max 1 shards in
+    let done_ = Bitset.make () in
+    (* Compact one shard: stream it line-by-line through a temp file,
+       keeping the header and only the entries whose digest checks out
+       (torn or corrupt lines — a kill -9 mid-append leaves at most one per
+       shard — are dropped), recording each kept index in the bitset. The
+       rename is atomic, so a second kill during compaction loses nothing. *)
+    let compact_shard k =
+      let p = shard_path path k shards in
+      let h = shard_header header k shards in
+      if not (Sys.file_exists p) then Ok (create ~path:p ~header:h)
+      else begin
+        let tmp = p ^ ".compact" in
+        let res =
+          In_channel.with_open_text p (fun ic ->
+              match In_channel.input_line ic with
+              | None -> Ok false (* truncated to nothing: restart the shard *)
+              | Some got when not (String.equal got h) -> Error (header_mismatch p got h)
+              | Some _ ->
+                  Out_channel.with_open_text tmp (fun oc ->
+                      Out_channel.output_string oc (h ^ "\n");
+                      let rec go () =
+                        match In_channel.input_line ic with
+                        | None -> ()
+                        | Some line ->
+                            (match parse_entry line with
+                            | Some e ->
+                                Bitset.add done_ e.index;
+                                Out_channel.output_string oc line;
+                                Out_channel.output_char oc '\n'
+                            | None -> ());
+                            go ()
+                      in
+                      go ());
+                  Ok true)
+        in
+        match res with
+        | Error _ as e -> e
+        | Ok false -> Ok (create ~path:p ~header:h)
+        | Ok true ->
+            Sys.rename tmp p;
+            Ok (reopen ~path:p)
+      end
+    in
+    let outs = Array.make shards None in
+    let err = ref None in
+    for k = 0 to shards - 1 do
+      if !err = None then
+        match compact_shard k with
+        | Ok oc -> outs.(k) <- Some oc
+        | Error e -> err := Some e
+    done;
+    match !err with
+    | Some e ->
+        Array.iter (function Some oc -> Out_channel.close oc | None -> ()) outs;
+        Error e
+    | None ->
+        Ok
+          {
+            base = path;
+            shards;
+            sync_every = max 1 sync_every;
+            outs = Array.map Option.get outs;
+            pending = Array.make shards 0;
+            done_;
+            cursors = Array.make shards None;
+          }
+
+  let append t ~index ~payload =
+    let k = index mod t.shards in
+    output_entry t.outs.(k) ~index ~payload;
+    t.pending.(k) <- t.pending.(k) + 1;
+    if t.pending.(k) >= t.sync_every then begin
+      Out_channel.flush t.outs.(k);
+      t.pending.(k) <- 0
+    end
+
+  let flush t =
+    Array.iteri
+      (fun k oc ->
+        if t.pending.(k) > 0 then begin
+          Out_channel.flush oc;
+          t.pending.(k) <- 0
+        end)
+      t.outs
+
+  let replay t index =
+    if not (mem t index) then None
+    else begin
+      let k = index mod t.shards in
+      let ic =
+        match t.cursors.(k) with
+        | Some ic -> ic
+        | None ->
+            let ic = In_channel.open_text (shard_path t.base k t.shards) in
+            ignore (In_channel.input_line ic : string option) (* skip the header *);
+            t.cursors.(k) <- Some ic;
+            ic
+      in
+      (* Entries inside a shard are in strictly increasing index order
+         (appends follow ordered emission), and replay is driven by the
+         same ordered emission — so each shard's cursor only ever moves
+         forward and the whole resume replays in O(1) reads per entry. *)
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> None
+        | Some line -> (
+            match parse_entry line with
+            | Some e when e.index = index -> Some e.payload
+            | Some e when e.index > index -> None
+            | _ -> go ())
+      in
+      go ()
+    end
+
+  let close t =
+    Array.iter Out_channel.close t.outs;
+    Array.iter (function Some ic -> In_channel.close ic | None -> ()) t.cursors
+end

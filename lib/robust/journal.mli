@@ -17,7 +17,11 @@
     flushed when appended, and {!load} drops any entry whose digest does
     not match its payload — a process killed mid-append leaves at most one
     torn trailing line, which is simply re-run on resume. Payloads must be
-    newline-free (enforced by {!append}). *)
+    newline-free (enforced by {!append}).
+
+    All reads stream line-by-line: loading or resuming a journal costs
+    O(longest line) memory, never O(file). For streaming resume over very
+    large batches, use {!Sharded}. *)
 
 type entry = { index : int; payload : string }
 
@@ -30,15 +34,94 @@ val load : path:string -> header:string -> (entry list, string) result
     the file exists but its header line differs from [header]. Torn or
     corrupt entry lines are skipped silently. *)
 
+val fold_entries :
+  path:string -> header:string -> init:'a -> f:('a -> entry -> 'a) -> ('a, string) result
+(** Stream-fold over the valid entries without materializing them —
+    {!load} in O(1) memory. Same missing-file / header semantics. *)
+
 val create : path:string -> header:string -> Out_channel.t
 (** Truncate/create the journal, write the header, flush, and return the
     channel for {!append}. *)
 
 val reopen : path:string -> Out_channel.t
 (** Open an existing journal for appending (after {!load}). A torn final
-    line left by a kill mid-append is truncated away first, so the next
-    {!append} starts on a fresh line. *)
+    line left by a kill mid-append is truncated away first (found by a
+    chunked O(1)-memory scan), so the next {!append} starts on a fresh
+    line. *)
 
 val append : Out_channel.t -> index:int -> payload:string -> unit
 (** Append one entry and flush. Raises [Invalid_argument] if [payload]
     contains a newline. *)
+
+(** Sharded journal for streaming batches (`sosctl batch --stream`).
+
+    The journal is split over [shards] files — entry [index] lands in
+    shard [index mod shards], file [PATH.k] (or [PATH] itself when
+    [shards = 1], byte-compatible with the single-file format above).
+    Every shard carries the same configuration-binding header, suffixed
+    with [" shard=k/N"] when [N > 1] so a journal can never be resumed
+    under a different shard count.
+
+    Sharding buys two things for million-spec runs: resume compacts and
+    scans shards independently (each is 1/N of the data), and appends can
+    be batched behind a [sync_every] flush policy per shard — an fsync'd
+    line every K entries instead of every entry, trading at most
+    [K - 1] re-run tasks per shard on a kill for sequential-write
+    throughput.
+
+    Resume never materializes entries: each shard is streamed line-by-line
+    into a {e bitset} of completed indices (125 KB per million tasks)
+    while being {e compacted} — torn or corrupt lines dropped, the clean
+    file atomically renamed into place — and replayed payloads are read
+    back on demand through a forward-only cursor per shard. *)
+module Sharded : sig
+  type t
+
+  val start : path:string -> ?shards:int -> ?sync_every:int -> header:string -> unit -> t
+  (** Create a fresh journal: truncates all [shards] (default 1) shard
+      files and writes their headers. [sync_every] (default 1 = flush
+      every entry) is the per-shard append count between flushes; both are
+      clamped up to 1. *)
+
+  val resume :
+    path:string ->
+    ?shards:int ->
+    ?sync_every:int ->
+    header:string ->
+    unit ->
+    (t, string) result
+  (** Reopen an interrupted run's journal: verifies every shard's header
+      (mismatch → [Error]), compacts each shard in one streaming pass
+      (invalid lines dropped, atomic rename), and records the surviving
+      indices in the resume bitset. A missing or empty shard file is
+      recreated fresh. *)
+
+  val mem : t -> int -> bool
+  (** Did the interrupted run complete this index? (Always [false] on a
+      {!start}-ed journal; fresh {!append}s do not set it.) *)
+
+  val completed : t -> int
+  (** Number of indices recorded by the interrupted run. *)
+
+  val replay : t -> int -> string option
+  (** The payload the interrupted run journalled for this index, or [None]
+      if {!mem} is false. Must be called in increasing index order (the
+      ordered-emission order): each shard is read through a forward-only
+      cursor. *)
+
+  val append : t -> index:int -> payload:string -> unit
+  (** Journal one fresh entry into shard [index mod shards], flushing per
+      the [sync_every] policy. Raises [Invalid_argument] on newline
+      payloads, as {!append}. *)
+
+  val flush : t -> unit
+  (** Force out any appends still buffered behind [sync_every]. *)
+
+  val close : t -> unit
+  (** Flush and close every shard channel and replay cursor. *)
+
+  val shards : t -> int
+
+  val paths : t -> string array
+  (** The shard file paths, in shard order. *)
+end

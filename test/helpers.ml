@@ -20,6 +20,12 @@ let for_random_instances ?(count = 300) ?max_n ?max_m ?max_size ?scale name f =
             (Printexc.to_string e) (Sos.Instance.to_string inst)
       done)
 
+(* Substring check for asserting on diagnostic messages. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let check_valid ?preemption_ok sched =
   match Sos.Schedule.validate ?preemption_ok sched with
   | Ok () -> ()

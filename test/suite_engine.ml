@@ -107,6 +107,103 @@ let test_stream_ordered () =
         (List.init 50 (fun i -> i))
         (List.rev !emitted))
 
+(* qcheck: the pull-based streaming path emits byte-identical outcomes to
+   the materialized map, at d ∈ {1,2,4} — the tentpole determinism
+   contract of `sosctl batch --stream`. *)
+let test_stream_seq_matches_map =
+  Helpers.qcheck ~count:25 "stream_seq byte-identical to map for domains 1/2/4"
+    QCheck.(pair (int_bound 10_000) (int_range 1 12))
+    (fun (seed, batch_size) ->
+      let insts =
+        Array.init batch_size (fun i ->
+            let rng = Rng.create2 seed i in
+            Workload.Sos_gen.random_instance rng ~max_n:40 ~max_m:8 ())
+      in
+      let reference = Array.to_list (solve_batch ~domains:1 insts) in
+      List.for_all
+        (fun d ->
+          Pool.with_pool ~domains:d (fun pool ->
+              let got = ref [] in
+              let n =
+                Batch.stream_seq pool ~chunk:2 ~window:3
+                  (fun i ->
+                    if i < batch_size then
+                      Some
+                        (fun () ->
+                          let s = Sos.Fast.run insts.(i) in
+                          (s.Sos.Schedule.makespan, Sos.Export.schedule_to_csv_rle s))
+                    else None)
+                  ~f:(fun _ r -> got := r :: !got)
+              in
+              if n <> batch_size then
+                QCheck.Test.fail_reportf "domains=%d produced %d of %d" d n batch_size
+              else if List.rev !got <> reference then
+                QCheck.Test.fail_reportf "domains=%d streamed outcomes diverged" d
+              else true))
+        [ 1; 2; 4 ])
+
+let test_stream_seq_window_bound () =
+  (* The producer is called on the calling thread, in order, exactly once
+     per index, and never while [window] tasks are already in flight. *)
+  let n = 200 and window = 8 in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let produced = ref 0 and emitted = ref 0 and max_inflight = ref 0 in
+      let count =
+        Batch.stream_seq pool ~window
+          (fun i ->
+            Alcotest.(check int) "producer called in order" !produced i;
+            if i >= n then None
+            else begin
+              incr produced;
+              max_inflight := max !max_inflight (!produced - !emitted);
+              Some (fun () -> i * 3)
+            end)
+          ~f:(fun i r ->
+            Alcotest.(check int) "emitted in order" !emitted i;
+            incr emitted;
+            match r with
+            | Ok v -> Alcotest.(check int) "value" (i * 3) v
+            | Error _ -> Alcotest.fail "unexpected error")
+      in
+      Alcotest.(check int) "count returned" n count;
+      Alcotest.(check int) "all emitted" n !emitted;
+      Alcotest.(check bool)
+        (Printf.sprintf "in-flight bound %d <= window %d" !max_inflight window)
+        true (!max_inflight <= window));
+  (* An empty stream: producer refused index 0, nothing runs. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let count = Batch.stream_seq pool (fun _ -> None) ~f:(fun _ _ -> Alcotest.fail "emit on empty stream") in
+      Alcotest.(check int) "empty stream" 0 count)
+
+let test_stream_seq_bounded_memory () =
+  (* The constant-memory smoke: 100k tasks each returning a ~1 KB payload
+     through a 64-task window must not grow the peak heap by anything
+     near the ~100 MB a materialized outcome array would need. The bound
+     is on the *delta* of the GC's top-of-heap watermark, so earlier
+     tests' allocations don't interfere. *)
+  Gc.full_major ();
+  let before = (Gc.quick_stat ()).Gc.top_heap_words in
+  let n = 100_000 in
+  let seen = ref 0 in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let count =
+        Batch.stream_seq pool ~chunk:64 ~window:64
+          (fun i -> if i < n then Some (fun () -> String.make 1024 (Char.chr (65 + (i mod 26)))) else None)
+          ~f:(fun i r ->
+            match r with
+            | Ok s ->
+                if String.length s = 1024 && s.[0] = Char.chr (65 + (i mod 26)) then incr seen
+            | Error _ -> Alcotest.fail "unexpected error")
+      in
+      Alcotest.(check int) "all streamed" n count);
+  Alcotest.(check int) "all payloads verified" n !seen;
+  let after = (Gc.quick_stat ()).Gc.top_heap_words in
+  let delta_words = after - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak heap grew %d words (cap 2M)" delta_words)
+    true
+    (delta_words < 2_000_000)
+
 let test_pool_basics () =
   Alcotest.(check bool) "recommended >= 1" true (Pool.recommended_domain_count () >= 1);
   Pool.with_pool ~domains:3 (fun pool ->
@@ -159,6 +256,9 @@ let suite =
       Alcotest.test_case "error capture leaves pool usable" `Quick test_error_capture_and_reuse;
       Alcotest.test_case "map_reduce ordered fold" `Quick test_map_reduce;
       Alcotest.test_case "stream emits in order" `Quick test_stream_ordered;
+      test_stream_seq_matches_map;
+      Alcotest.test_case "stream_seq window bound + ordering" `Quick test_stream_seq_window_bound;
+      Alcotest.test_case "stream_seq bounded memory (100k specs)" `Quick test_stream_seq_bounded_memory;
       Alcotest.test_case "pool basics" `Quick test_pool_basics;
       Alcotest.test_case "clock time_it/best_of" `Quick test_clock;
       Alcotest.test_case "rng create2" `Quick test_rng_create2;

@@ -225,6 +225,113 @@ let test_journal_torn_line () =
         (List.map (fun (e : Robust.Journal.entry) -> e.index) entries)
   | Error msg -> Alcotest.fail msg
 
+(* ------------------------------------------------------ sharded journal *)
+
+module Sharded = Robust.Journal.Sharded
+
+let with_temp_sharded shards f =
+  let base = Filename.temp_file "sosjsh" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      let rm p = try Sys.remove p with Sys_error _ -> () in
+      rm base;
+      for k = 0 to shards - 1 do
+        rm (Printf.sprintf "%s.%d" base k)
+      done)
+    (fun () -> f base)
+
+let test_sharded_roundtrip () =
+  with_temp_sharded 3 @@ fun base ->
+  let header = "sosj1 seed=7 algo=fast specs=abc" in
+  let j = Sharded.start ~path:base ~shards:3 ~sync_every:4 ~header () in
+  Alcotest.(check int) "shards" 3 (Sharded.shards j);
+  Alcotest.(check (array string)) "shard paths"
+    (Array.init 3 (Printf.sprintf "%s.%d" base))
+    (Sharded.paths j);
+  for i = 0 to 10 do
+    Sharded.append j ~index:i ~payload:(Printf.sprintf "%d ok payload" i)
+  done;
+  (* sync_every=4 buffers appends; close must flush them all out. *)
+  Sharded.close j;
+  (match Sharded.resume ~path:base ~shards:3 ~sync_every:4 ~header () with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+      Alcotest.(check int) "completed" 11 (Sharded.completed j);
+      for i = 0 to 10 do
+        Alcotest.(check bool) (Printf.sprintf "mem %d" i) true (Sharded.mem j i);
+        (* replay in increasing index order, across all shards *)
+        match Sharded.replay j i with
+        | Some p ->
+            Alcotest.(check string) "replayed payload" (Printf.sprintf "%d ok payload" i) p
+        | None -> Alcotest.failf "no payload for %d" i
+      done;
+      Alcotest.(check bool) "mem beyond end" false (Sharded.mem j 11);
+      Alcotest.(check bool) "replay beyond end" true (Sharded.replay j 11 = None);
+      (* Fresh appends on a resumed journal extend it... *)
+      Sharded.append j ~index:11 ~payload:"11 ok payload";
+      Alcotest.(check bool) "fresh append not in resume bitset" false (Sharded.mem j 11);
+      Sharded.close j);
+  match Sharded.resume ~path:base ~shards:3 ~header () with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+      Alcotest.(check int) "completed after second run" 12 (Sharded.completed j);
+      Sharded.close j
+
+let test_sharded_header_binding () =
+  with_temp_sharded 2 @@ fun base ->
+  let header = "sosj1 seed=1 algo=fast specs=x" in
+  let j = Sharded.start ~path:base ~shards:2 ~header () in
+  Sharded.append j ~index:0 ~payload:"zero";
+  Sharded.close j;
+  (* Another seed must be refused... *)
+  (match Sharded.resume ~path:base ~shards:2 ~header:"sosj1 seed=2 algo=fast specs=x" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "header mismatch accepted");
+  (* ...and so must another shard count: the per-shard header suffix
+     changes, so shard 0 of a 2-shard journal never resumes as 1-shard. *)
+  match Sharded.resume ~path:(base ^ ".0") ~shards:1 ~header () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "shard-count mismatch accepted"
+
+let test_sharded_torn_tails () =
+  with_temp_sharded 2 @@ fun base ->
+  let header = "sosj1 seed=3 algo=fast specs=y" in
+  let j = Sharded.start ~path:base ~shards:2 ~header () in
+  for i = 0 to 5 do
+    Sharded.append j ~index:i ~payload:(Printf.sprintf "out-%d" i)
+  done;
+  Sharded.close j;
+  (* Simulate SIGKILL mid-append on both shards: a half-written entry
+     with no newline on shard 0, a wrong-digest line on shard 1. *)
+  let scribble path text =
+    let oc = Out_channel.open_gen [ Open_append; Open_text ] 0o644 path in
+    Out_channel.output_string oc text;
+    Out_channel.close oc
+  in
+  scribble (base ^ ".0") "8 0123456789abcdef tor";
+  scribble (base ^ ".1") "9 0123456789abcdef0123456789abcdef bad-digest\n";
+  match Sharded.resume ~path:base ~shards:2 ~header () with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+      (* The torn/corrupt lines are dropped by compaction; the six clean
+         entries survive and replay in order. *)
+      Alcotest.(check int) "completed after torn tails" 6 (Sharded.completed j);
+      for i = 0 to 5 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "replay %d" i)
+          (Some (Printf.sprintf "out-%d" i))
+          (Sharded.replay j i)
+      done;
+      Alcotest.(check bool) "torn index not recorded" false (Sharded.mem j 8);
+      Sharded.close j;
+      (* Compaction rewrote the shard files: resuming again finds exactly
+         the same clean state. *)
+      (match Sharded.resume ~path:base ~shards:2 ~header () with
+      | Ok j2 ->
+          Alcotest.(check int) "stable after recompaction" 6 (Sharded.completed j2);
+          Sharded.close j2
+      | Error msg -> Alcotest.fail msg)
+
 (* ----------------------------------------------------- batch resilience *)
 
 let test_retry_recovers () =
@@ -449,6 +556,9 @@ let suite =
       Alcotest.test_case "ambient context scope" `Quick test_context_scope;
       Alcotest.test_case "journal roundtrip + header binding" `Quick test_journal_roundtrip;
       Alcotest.test_case "journal torn-line recovery" `Quick test_journal_torn_line;
+      Alcotest.test_case "sharded journal roundtrip + replay" `Quick test_sharded_roundtrip;
+      Alcotest.test_case "sharded journal header binding" `Quick test_sharded_header_binding;
+      Alcotest.test_case "sharded journal torn-tail compaction" `Quick test_sharded_torn_tails;
       Alcotest.test_case "retry recovers deterministically" `Quick test_retry_recovers;
       Alcotest.test_case "invalid input never retried" `Quick test_invalid_never_retried;
       Alcotest.test_case "per-task deadline" `Quick test_task_deadline;

@@ -1,0 +1,198 @@
+(* Workload.Specs: the streaming spec-corpus reader/writer behind
+   `sosctl batch --stream`. The central properties are (1) the binary
+   encoding round-trips through the text form record-for-record — same
+   canonical stream, same digest — so a converted corpus replays
+   byte-identically, and (2) malformed input (bad text specs, torn
+   trailing binary records) becomes a [Bad] record, never an exception. *)
+
+module Specs = Workload.Specs
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "sosspec" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let payload = Alcotest.testable (fun ppf p ->
+    Format.pp_print_string ppf
+      (match (p : Specs.payload) with
+      | Gen { family; n; m; scale } ->
+          Printf.sprintf "Gen(%s,%d,%d,%s)" family n m
+            (match scale with None -> "-" | Some s -> string_of_int s)
+      | File p -> "File(" ^ p ^ ")"
+      | Bad msg -> "Bad(" ^ msg ^ ")"))
+  ( = )
+
+let test_parse_line () =
+  Alcotest.check payload "plain gen"
+    (Specs.Gen { family = "bimodal"; n = 10; m = 4; scale = None })
+    (Specs.parse_line "bimodal 10 4");
+  Alcotest.check payload "gen with scale"
+    (Specs.Gen { family = "uniform-small"; n = 3; m = 2; scale = Some 50 })
+    (Specs.parse_line "uniform-small 3 2 50");
+  Alcotest.check payload "file spec" (Specs.File "path/to/inst")
+    (Specs.parse_line "@path/to/inst");
+  (* The exact historical diagnostics, pinned by the CI acceptance smoke. *)
+  Alcotest.check payload "bad n"
+    (Specs.Bad "bad n \"zero\" in spec \"bimodal zero 4\"")
+    (Specs.parse_line "bimodal zero 4");
+  Alcotest.check payload "n < 1"
+    (Specs.Bad "bad n \"0\" in spec \"bimodal 0 4\"")
+    (Specs.parse_line "bimodal 0 4");
+  Alcotest.check payload "bad scale"
+    (Specs.Bad "bad scale \"x\" in spec \"bimodal 2 4 x\"")
+    (Specs.parse_line "bimodal 2 4 x");
+  Alcotest.check payload "trailing fields"
+    (Specs.Bad "trailing fields in spec \"bimodal 2 4 5 6\"")
+    (Specs.parse_line "bimodal 2 4 5 6");
+  Alcotest.check payload "too few fields"
+    (Specs.Bad "bad spec \"bimodal\" (want: <family> <n> <m> [scale], or @<file>)")
+    (Specs.parse_line "bimodal")
+
+let read_all src =
+  let rec go acc =
+    match Specs.read src with None -> List.rev acc | Some r -> go (r :: acc)
+  in
+  go []
+
+let test_text_reader () =
+  with_temp_file ".specs" @@ fun path ->
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        "# a comment\nbimodal 10 4\n\n  uniform-small 3 2 50  \n@inst.txt\nnope\n");
+  match Specs.open_path path with
+  | Error msg -> Alcotest.fail msg
+  | Ok src ->
+      Alcotest.(check bool) "text detected" false (Specs.is_binary src);
+      let rs = read_all src in
+      Specs.close src;
+      (* recno is the 1-based *physical* line number: comments and blanks
+         are skipped but still counted, so diagnostics are locatable. *)
+      Alcotest.(check (list int)) "physical line numbers" [ 2; 4; 5; 6 ]
+        (List.map (fun (r : Specs.record) -> r.recno) rs);
+      Alcotest.(check (list string)) "canonical forms"
+        [ "bimodal 10 4"; "uniform-small 3 2 50"; "@inst.txt"; "nope" ]
+        (List.map Specs.canonical rs);
+      match List.map (fun (r : Specs.record) -> r.payload) rs with
+      | [ Specs.Gen _; Specs.Gen { scale = Some 50; _ }; Specs.File "inst.txt"; Specs.Bad _ ]
+        -> ()
+      | _ -> Alcotest.fail "unexpected payloads"
+
+let test_binary_round_trip () =
+  with_temp_file ".specs" @@ fun text ->
+  with_temp_file ".bin" @@ fun bin ->
+  let families = Specs.family_names () in
+  Alcotest.(check bool) "families non-empty" true (List.length families > 0);
+  Out_channel.with_open_text text (fun oc ->
+      List.iteri
+        (fun i f -> Printf.fprintf oc "%s %d %d%s\n" f (i + 1) (i + 2)
+            (if i mod 2 = 0 then "" else Printf.sprintf " %d" (10 * (i + 1))))
+        families);
+  (match Specs.convert_to_binary ~src:text ~dst:bin with
+  | Ok n -> Alcotest.(check int) "converted count" (List.length families) n
+  | Error msg -> Alcotest.fail msg);
+  (match Specs.open_path bin with
+  | Error msg -> Alcotest.fail msg
+  | Ok src ->
+      Alcotest.(check bool) "binary autodetected" true (Specs.is_binary src);
+      let rs = read_all src in
+      Specs.close src;
+      (* Binary recnos are record ordinals. *)
+      Alcotest.(check (list int)) "record ordinals"
+        (List.init (List.length families) (fun i -> i + 1))
+        (List.map (fun (r : Specs.record) -> r.recno) rs);
+      List.iteri
+        (fun i (r : Specs.record) ->
+          match r.payload with
+          | Specs.Gen { family; n; m; scale } ->
+              Alcotest.(check string) "family survives" (List.nth families i) family;
+              Alcotest.(check int) "n survives" (i + 1) n;
+              Alcotest.(check int) "m survives" (i + 2) m;
+              Alcotest.(check (option int)) "scale survives"
+                (if i mod 2 = 0 then None else Some (10 * (i + 1)))
+                scale
+          | _ -> Alcotest.failf "record %d not Gen" r.recno)
+        rs);
+  (* The digest is over the canonical record stream, so a corpus and its
+     binary conversion digest identically — the property that lets a
+     checkpoint journal written against one resume against the other. *)
+  match (Specs.digest_of_path text, Specs.digest_of_path bin) with
+  | Ok dt, Ok db -> Alcotest.(check string) "text and binary digests equal" dt db
+  | Error msg, _ | _, Error msg -> Alcotest.fail msg
+
+let test_binary_torn_record () =
+  with_temp_file ".bin" @@ fun bin ->
+  Out_channel.with_open_bin bin (fun oc ->
+      let w = Specs.Writer.create oc in
+      (match Specs.Writer.add w ~family:"bimodal" ~n:5 ~m:3 () with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      match Specs.Writer.add w ~family:"nope" ~n:1 ~m:1 () with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "unknown family accepted by Writer");
+  (* SIGKILL mid-write: chop the file mid-record. The reader must surface
+     one Bad record and stop, never raise. *)
+  let full = In_channel.with_open_bin bin In_channel.input_all in
+  Out_channel.with_open_bin bin (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full - 7)));
+  match Specs.open_path bin with
+  | Error msg -> Alcotest.fail msg
+  | Ok src -> (
+      (match read_all src with
+      | [ r ] -> (
+          match r.payload with
+          | Specs.Bad msg ->
+              Alcotest.(check bool) "diagnostic names the record" true
+                (Helpers.contains msg "truncated record 1")
+          | _ -> Alcotest.fail "torn record not Bad")
+      | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+      Specs.close src)
+
+let test_convert_rejects_unconvertible () =
+  with_temp_file ".specs" @@ fun text ->
+  with_temp_file ".bin" @@ fun bin ->
+  Out_channel.with_open_text text (fun oc ->
+      Out_channel.output_string oc "bimodal 4 4\n@some/file\n");
+  (match Specs.convert_to_binary ~src:text ~dst:bin with
+  | Error msg ->
+      Alcotest.(check bool) "error names record 2" true (Helpers.contains msg "record 2")
+  | Ok _ -> Alcotest.fail "@FILE spec converted to binary");
+  Out_channel.with_open_text text (fun oc ->
+      Out_channel.output_string oc "bimodal 4\n");
+  match Specs.convert_to_binary ~src:text ~dst:bin with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed spec converted to binary"
+
+let test_digest_chunk_invariance () =
+  (* The chained digest folds in fixed 1024-record blocks, so it only
+     depends on the record stream — feed the same lines in one-by-one and
+     the hex matches a second independent pass. *)
+  let lines = List.init 2500 (Printf.sprintf "bimodal %d 4") in
+  let d1 =
+    let st = Specs.digest_create () in
+    List.iter (Specs.digest_line st) lines;
+    Specs.digest_finish st
+  in
+  let d2 =
+    let st = Specs.digest_create () in
+    List.iter (Specs.digest_line st) lines;
+    Specs.digest_finish st
+  in
+  Alcotest.(check string) "digest deterministic" d1 d2;
+  let d3 =
+    let st = Specs.digest_create () in
+    List.iter (Specs.digest_line st) (List.tl lines);
+    Specs.digest_finish st
+  in
+  Alcotest.(check bool) "digest sensitive to the stream" true (d1 <> d3)
+
+let suite =
+  ( "specs",
+    [
+      Alcotest.test_case "parse_line grammar + diagnostics" `Quick test_parse_line;
+      Alcotest.test_case "text reader: comments, blanks, recno" `Quick test_text_reader;
+      Alcotest.test_case "binary round-trip + digest equality" `Quick test_binary_round_trip;
+      Alcotest.test_case "torn binary record becomes Bad" `Quick test_binary_torn_record;
+      Alcotest.test_case "convert rejects @FILE and malformed" `Quick test_convert_rejects_unconvertible;
+      Alcotest.test_case "streaming digest invariance" `Quick test_digest_chunk_invariance;
+    ] )

@@ -10,6 +10,7 @@ let () =
       Suite_sas.suite;
       Suite_baselines.suite;
       Suite_workload.suite;
+      Suite_specs.suite;
       Suite_schedule.suite;
       Suite_assign.suite;
       Suite_online.suite;
