@@ -778,7 +778,19 @@ let batch_cmd =
             | None -> ()
             | Some j -> (
                 match Robust.Journal.Sharded.replay j idx with
-                | None -> ()
+                | None ->
+                    (* The resume bitset says this index completed, yet no
+                       shard holds its entry: the checkpoint lost data.
+                       Emitting nothing would silently break byte-identical
+                       resume, so surface it as a failure. Not journalled —
+                       the corrupt journal should not gain an error entry
+                       for an index it claims succeeded. *)
+                    incr failures;
+                    emit_line ~journal ~fresh:false idx
+                      (Printf.sprintf
+                         "%d error task-exn line %d: checkpoint entry missing on replay \
+                          (corrupt journal; re-run without --resume)"
+                         idx (recno_of idx))
                 | Some payload ->
                     if payload_is_error payload then incr failures;
                     emit_line ~journal ~fresh:false idx payload))

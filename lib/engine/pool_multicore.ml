@@ -195,10 +195,17 @@ let run_ordered_seq t ?(chunk = 1) ?window supply ~emit =
       done;
       Array.of_list (List.rev !acc)
     in
+    (* Submit only when a full chunk of window space is free, and drain
+       every ready completion before submitting again. Emitting one task
+       per iteration would free a single slot at a time, degrading every
+       steady-state pull to min(chunk, 1) = 1 thunk — chunk-fold more
+       submit/lock/signal round trips than the chunking contract promises.
+       [window >= chunk] (clamped above) guarantees the emit branch always
+       has at least one in-flight task to wait on. *)
     while (not !exhausted) || !next_emit < !next_submit do
       let inflight = !next_submit - !next_emit in
-      if (not !exhausted) && inflight < window then begin
-        let thunks = pull (min chunk (window - inflight)) in
+      if (not !exhausted) && window - inflight >= chunk then begin
+        let thunks = pull chunk in
         let k = Array.length thunks in
         if k > 0 then begin
           let lo = !next_submit in
@@ -219,10 +226,19 @@ let run_ordered_seq t ?(chunk = 1) ?window supply ~emit =
         while not completed.(!next_emit mod window) do
           Condition.wait ready lock
         done;
-        completed.(!next_emit mod window) <- false;
         Mutex.unlock lock;
-        emit !next_emit;
-        incr next_emit
+        let draining = ref true in
+        while !draining && !next_emit < !next_submit do
+          Mutex.lock lock;
+          let ready_now = completed.(!next_emit mod window) in
+          if ready_now then completed.(!next_emit mod window) <- false;
+          Mutex.unlock lock;
+          if ready_now then begin
+            emit !next_emit;
+            incr next_emit
+          end
+          else draining := false
+        done
       end
     done;
     !next_emit

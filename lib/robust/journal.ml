@@ -123,6 +123,12 @@ module Sharded = struct
       end
   end
 
+  (* A replay cursor holds at most one entry of pushback: when the forward
+     scan reads past the index it was looking for, the overshot entry is
+     parked here instead of being lost, so the next (higher-index) replay
+     still sees it. *)
+  type cursor = { ic : In_channel.t; mutable pushback : entry option }
+
   type t = {
     base : string;
     shards : int;
@@ -130,7 +136,7 @@ module Sharded = struct
     outs : Out_channel.t array;
     pending : int array; (* unflushed appends per shard *)
     done_ : Bitset.t; (* indices completed by the interrupted run *)
-    cursors : In_channel.t option array; (* lazy per-shard replay readers *)
+    cursors : cursor option array; (* lazy per-shard replay readers *)
   }
 
   let shard_path base k shards = if shards = 1 then base else Printf.sprintf "%s.%d" base k
@@ -191,7 +197,13 @@ module Sharded = struct
                             | None -> ());
                             go ()
                       in
-                      go ());
+                      go ();
+                      (* The rename below is only crash-safe if the temp
+                         file's data has reached disk first — otherwise a
+                         power loss can leave a truncated compacted shard
+                         in place of the entries it replaced. *)
+                      Out_channel.flush oc;
+                      Unix.fsync (Unix.descr_of_out_channel oc));
                   Ok true)
         in
         match res with
@@ -199,6 +211,14 @@ module Sharded = struct
         | Ok false -> Ok (create ~path:p ~header:h)
         | Ok true ->
             Sys.rename tmp p;
+            (* Persist the rename itself (the directory entry); best-effort
+               since some filesystems refuse fsync on a directory fd. *)
+            (try
+               let dfd = Unix.openfile (Filename.dirname p) [ Unix.O_RDONLY ] 0 in
+               Fun.protect
+                 ~finally:(fun () -> Unix.close dfd)
+                 (fun () -> Unix.fsync dfd)
+             with Unix.Unix_error _ -> ());
             Ok (reopen ~path:p)
       end
     in
@@ -244,36 +264,70 @@ module Sharded = struct
         end)
       t.outs
 
+  (* Slow path: the forward cursor overshot [index], so the entry — which
+     the resume bitset saw during compaction — sits {e behind} the cursor.
+     That happens when a shard is not index-sorted: an interrupted run
+     journals nothing for a cancelled index while later in-flight tasks
+     are journalled, and the first resume appends the re-run gap index
+     after them. Rescan the whole shard with a fresh reader; O(shard) per
+     out-of-order entry, and such entries are bounded by the gaps of prior
+     interrupted runs. *)
+  let rescan t k index =
+    In_channel.with_open_text
+      (shard_path t.base k t.shards)
+      (fun ic ->
+        ignore (In_channel.input_line ic : string option) (* skip the header *);
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> None
+          | Some line -> (
+              match parse_entry line with
+              | Some e when e.index = index -> Some e.payload
+              | _ -> go ())
+        in
+        go ())
+
   let replay t index =
     if not (mem t index) then None
     else begin
       let k = index mod t.shards in
-      let ic =
+      let cur =
         match t.cursors.(k) with
-        | Some ic -> ic
+        | Some cur -> cur
         | None ->
             let ic = In_channel.open_text (shard_path t.base k t.shards) in
             ignore (In_channel.input_line ic : string option) (* skip the header *);
-            t.cursors.(k) <- Some ic;
-            ic
+            let cur = { ic; pushback = None } in
+            t.cursors.(k) <- Some cur;
+            cur
       in
-      (* Entries inside a shard are in strictly increasing index order
-         (appends follow ordered emission), and replay is driven by the
-         same ordered emission — so each shard's cursor only ever moves
-         forward and the whole resume replays in O(1) reads per entry. *)
+      (* Replay is driven by ordered emission and shards are appended in
+         emission order, so the common case is a strictly forward scan:
+         O(1) reads per entry. An entry that lands {e behind} the cursor
+         (out-of-order shard, see [rescan]) must not cost the entries
+         ahead of it — the overshot line is pushed back, never consumed. *)
       let rec go () =
-        match In_channel.input_line ic with
-        | None -> None
+        match In_channel.input_line cur.ic with
+        | None -> rescan t k index
         | Some line -> (
             match parse_entry line with
             | Some e when e.index = index -> Some e.payload
-            | Some e when e.index > index -> None
+            | Some e when e.index > index ->
+                cur.pushback <- Some e;
+                rescan t k index
             | _ -> go ())
       in
-      go ()
+      match cur.pushback with
+      | Some e when e.index = index ->
+          cur.pushback <- None;
+          Some e.payload
+      | Some e when e.index > index -> rescan t k index
+      | _ ->
+          cur.pushback <- None;
+          go ()
     end
 
   let close t =
     Array.iter Out_channel.close t.outs;
-    Array.iter (function Some ic -> In_channel.close ic | None -> ()) t.cursors
+    Array.iter (function Some cur -> In_channel.close cur.ic | None -> ()) t.cursors
 end

@@ -106,8 +106,13 @@ module Sharded : sig
   val replay : t -> int -> string option
   (** The payload the interrupted run journalled for this index, or [None]
       if {!mem} is false. Must be called in increasing index order (the
-      ordered-emission order): each shard is read through a forward-only
-      cursor. *)
+      ordered-emission order): each shard is read through a forward
+      cursor with one entry of pushback, so in-order entries cost O(1)
+      reads. An entry lying {e behind} the cursor (a shard left
+      index-unsorted by a prior resume appending re-run gap indices after
+      higher ones) is still found, via a full-shard rescan. [None] with
+      {!mem} true therefore means the journal lost the entry — callers
+      must treat it as a failure, not as silence. *)
 
   val append : t -> index:int -> payload:string -> unit
   (** Journal one fresh entry into shard [index mod shards], flushing per

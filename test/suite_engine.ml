@@ -175,6 +175,50 @@ let test_stream_seq_window_bound () =
       let count = Batch.stream_seq pool (fun _ -> None) ~f:(fun _ _ -> Alcotest.fail "emit on empty stream") in
       Alcotest.(check int) "empty stream" 0 count)
 
+let test_stream_seq_full_chunks () =
+  (* Steady-state chunking contract: the caller-side producer is pulled in
+     full-[chunk] batches. Emitting one result frees one window slot — it
+     must not degrade the next pull to min(chunk, 1) = 1, or every queued
+     task past the first window carries a single thunk (chunk-fold more
+     submit/lock/signal round trips). Supply and emit both run on the
+     calling thread, so their interleaving is an exact observable: every
+     maximal run of supply calls must be exactly [chunk] long, except the
+     run containing the exhaustion probe, or a length-1 run immediately
+     followed by the emit of that same index (inline execution: the
+     sequential leg runs pull-run-emit one index at a time). *)
+  let n = 97 and chunk = 8 in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let trace = ref [] in
+      let count =
+        Batch.stream_seq pool ~chunk ~window:(2 * chunk)
+          (fun i ->
+            trace := `S i :: !trace;
+            if i < n then Some (fun () -> i) else None)
+          ~f:(fun i r ->
+            trace := `E i :: !trace;
+            match r with
+            | Ok v -> Alcotest.(check int) "streamed value" i v
+            | Error _ -> Alcotest.fail "unexpected error")
+      in
+      Alcotest.(check int) "count" n count;
+      let rec scan run_len last_s = function
+        | [] -> ()
+        | `S i :: rest -> scan (run_len + 1) i rest
+        | `E i :: rest ->
+            if run_len > 0 then begin
+              let ok =
+                run_len mod chunk = 0 (* one or more back-to-back full-chunk pulls *)
+                || last_s >= n (* the run that hit exhaustion *)
+                || (run_len = 1 && last_s = i) (* inline: supply i, run, emit i *)
+              in
+              if not ok then
+                Alcotest.failf "supply run of %d thunks (chunk %d) before emit %d" run_len
+                  chunk i
+            end;
+            scan 0 (-1) rest
+      in
+      scan 0 (-1) (List.rev !trace))
+
 let test_stream_seq_bounded_memory () =
   (* The constant-memory smoke: 100k tasks each returning a ~1 KB payload
      through a 64-task window must not grow the peak heap by anything
@@ -258,6 +302,8 @@ let suite =
       Alcotest.test_case "stream emits in order" `Quick test_stream_ordered;
       test_stream_seq_matches_map;
       Alcotest.test_case "stream_seq window bound + ordering" `Quick test_stream_seq_window_bound;
+      Alcotest.test_case "stream_seq full-chunk pulls in steady state" `Quick
+        test_stream_seq_full_chunks;
       Alcotest.test_case "stream_seq bounded memory (100k specs)" `Quick test_stream_seq_bounded_memory;
       Alcotest.test_case "pool basics" `Quick test_pool_basics;
       Alcotest.test_case "clock time_it/best_of" `Quick test_clock;

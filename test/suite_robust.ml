@@ -332,6 +332,49 @@ let test_sharded_torn_tails () =
           Sharded.close j2
       | Error msg -> Alcotest.fail msg)
 
+let test_sharded_out_of_order_replay () =
+  (* The SIGINT scenario: an interrupted run journals nothing for a
+     cancelled index (the gap) while later in-flight indices are
+     journalled; the first --resume re-runs the gap and appends it AFTER
+     the higher-index entries, leaving the shard index-unsorted. A second
+     --resume must still replay every completed index byte-identically —
+     the forward cursor must neither lose the gap entry (it sits behind
+     the cursor after the overshoot) nor consume the overshot entry. *)
+  with_temp_sharded 2 @@ fun base ->
+  let header = "sosj1 seed=11 algo=fast specs=z" in
+  let payload i = Printf.sprintf "out-%d" i in
+  let j = Sharded.start ~path:base ~shards:2 ~header () in
+  (* Run 1, interrupted: indices 2 and 5 cancelled (nothing journalled),
+     later in-flight indices journalled in emission order. *)
+  List.iter (fun i -> Sharded.append j ~index:i ~payload:(payload i)) [ 0; 1; 3; 4; 6; 7 ];
+  Sharded.close j;
+  (* First resume: gaps re-run and appended after higher indices. *)
+  (match Sharded.resume ~path:base ~shards:2 ~header () with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+      Alcotest.(check int) "completed after run 1" 6 (Sharded.completed j);
+      List.iter
+        (fun i ->
+          if Sharded.mem j i then
+            Alcotest.(check (option string))
+              (Printf.sprintf "first resume replay %d" i)
+              (Some (payload i)) (Sharded.replay j i)
+          else Sharded.append j ~index:i ~payload:(payload i))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+      Sharded.close j);
+  (* Second resume: shard 0 is now [0;4;6;2], shard 1 [1;3;7;5]. Every
+     index must replay, in ordered-emission order. *)
+  match Sharded.resume ~path:base ~shards:2 ~header () with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+      Alcotest.(check int) "completed after gap fill" 8 (Sharded.completed j);
+      for i = 0 to 7 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "second resume replay %d" i)
+          (Some (payload i)) (Sharded.replay j i)
+      done;
+      Sharded.close j
+
 (* ----------------------------------------------------- batch resilience *)
 
 let test_retry_recovers () =
@@ -559,6 +602,8 @@ let suite =
       Alcotest.test_case "sharded journal roundtrip + replay" `Quick test_sharded_roundtrip;
       Alcotest.test_case "sharded journal header binding" `Quick test_sharded_header_binding;
       Alcotest.test_case "sharded journal torn-tail compaction" `Quick test_sharded_torn_tails;
+      Alcotest.test_case "sharded journal out-of-order replay" `Quick
+        test_sharded_out_of_order_replay;
       Alcotest.test_case "retry recovers deterministically" `Quick test_retry_recovers;
       Alcotest.test_case "invalid input never retried" `Quick test_invalid_never_retried;
       Alcotest.test_case "per-task deadline" `Quick test_task_deadline;
