@@ -429,10 +429,30 @@ let check_regression r =
 
 let metrics_snapshot_path = "BENCH_metrics.json"
 
+(* Handles onto the library-registered distribution histograms (PR 8):
+   the registry dedupes by name, so these resolve to the instruments the
+   solver and bound modules observe into. Solve latency is runtime-class
+   (quoted in the gate notes only); the ratio histogram is deterministic
+   and therefore part of the byte-identity assertion below. *)
+let h_solve = Obs.Hist.runtime "sos.fast.solve_s"
+
+let h_ratio =
+  Obs.Hist.create
+    ~bounds:(Obs.Hist.linear_bounds ~lo:1.0 ~hi:3.0 ~step:0.05)
+    "sos.bounds.ratio"
+
 let obs_snapshot () =
   let corpus = t7c_corpus () in
+  (* Each task also rates its makespan against the Equation-(1) lower
+     bound, so BENCH_metrics.json carries the approximation-ratio
+     distribution of the whole corpus next to the Theorem 3.3 guarantee. *)
   let tasks =
-    Array.map (fun inst () -> (Sos.Fast.run inst).Sos.Schedule.makespan) corpus
+    Array.map
+      (fun inst () ->
+        let makespan = (Sos.Fast.run inst).Sos.Schedule.makespan in
+        ignore (Sos.Bounds.theorem_3_3_bound inst ~makespan);
+        makespan)
+      corpus
   in
   Obs.Metrics.enable ();
   let snap d =
@@ -450,6 +470,20 @@ let obs_snapshot () =
   Obs.Metrics.disable ();
   Out_channel.with_open_text metrics_snapshot_path (fun oc ->
       Out_channel.output_string oc json);
+  note
+    "corpus solve latency: p50 %.1f us, p99 %.1f us, max %.1f us (%d solves, \
+     runtime class)"
+    (Obs.Hist.quantile h_solve 0.50 *. 1e6)
+    (Obs.Hist.quantile h_solve 0.99 *. 1e6)
+    (Obs.Hist.max_value h_solve *. 1e6)
+    (Obs.Hist.count h_solve);
+  note
+    "corpus makespan/lower-bound ratio: p50 %.3f, p99 %.3f, max %.3f over %d \
+     instances (deterministic; Theorem 3.3 guarantees <= 2 + 1/(m-2))"
+    (Obs.Hist.quantile h_ratio 0.50)
+    (Obs.Hist.quantile h_ratio 0.99)
+    (Obs.Hist.max_value h_ratio)
+    (Obs.Hist.count h_ratio);
   s1
 
 (* ------------------------------------------------------------- --check *)

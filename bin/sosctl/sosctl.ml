@@ -36,8 +36,9 @@ let load_instance ?(window = false) file k =
 (* Shared --metrics[=PATH] / --trace=PATH flags (doc/OBSERVABILITY.md).
    [with_obs] enables the requested sinks, runs the subcommand, then dumps:
    metrics go to stderr by default (stdout stays byte-identical — the batch
-   determinism contract) or to PATH (JSON when PATH ends in .json, text
-   otherwise); the trace is always a Chrome trace-event JSON file. *)
+   determinism contract) or to PATH (JSON when PATH ends in .json,
+   OpenMetrics when it ends in .prom, text otherwise); the trace is always
+   a Chrome trace-event JSON file. *)
 
 let obs_flags =
   let metrics =
@@ -46,9 +47,10 @@ let obs_flags =
       & opt ~vopt:(Some "-") (some string) None
       & info [ "metrics" ] ~docv:"PATH"
           ~doc:
-            "Record telemetry counters/timers during the run and dump a snapshot: \
-             to stderr ($(b,--metrics) alone), or to $(docv) (JSON if it ends in \
-             .json, text otherwise).")
+            "Record telemetry counters/timers/histograms during the run and dump \
+             a snapshot: to stderr ($(b,--metrics) alone), or to $(docv) (JSON if \
+             it ends in .json, OpenMetrics exposition if it ends in .prom, text \
+             otherwise).")
   in
   let trace =
     Arg.(
@@ -78,6 +80,7 @@ let with_obs (metrics, trace) run =
   | Some path ->
       let body =
         if Filename.check_suffix path ".json" then Obs.Metrics.snapshot_json ()
+        else if Filename.check_suffix path ".prom" then Obs.Metrics.to_openmetrics ()
         else Obs.Metrics.snapshot ()
       in
       Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc body)
@@ -635,7 +638,8 @@ end
 
 let batch_cmd =
   let run obs file jobs seed out_dir algo retries task_timeout checkpoint resume
-      verbose_errors chaos chaos_seed stream_mode summary shards sync_every chunk win_opt =
+      verbose_errors chaos chaos_seed stream_mode summary shards sync_every chunk win_opt
+      progress =
     with_obs obs @@ fun () ->
     try
       if jobs < 1 then raise (Usage "-j must be >= 1");
@@ -723,6 +727,7 @@ let batch_cmd =
               | Error reason -> raise (Invalid reason));
               (family.Workload.Sos_gen.name, inst)
         in
+        Obs.Trace.flow_step ~id:idx "spec";
         let preemptive, sched = run_algo algo inst in
         (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
         | Ok () -> ()
@@ -760,6 +765,22 @@ let batch_cmd =
       in
       let failures = ref 0 in
       let summary_state = if summary then Some (Summary.create ()) else None in
+      (* --progress heartbeats: ticked on the caller thread after each
+         ordered emission, so they cost the workers nothing, write only to
+         stderr (stdout byte-identity holds), and need no domains. *)
+      let emitted = ref 0 in
+      let produced = ref 0 in
+      let progress_state : Obs.Progress.t option ref = ref None in
+      let after_emit idx =
+        incr emitted;
+        Obs.Trace.flow_end ~id:idx "spec";
+        match !progress_state with
+        | None -> ()
+        | Some p ->
+            Obs.Progress.tick p ~done_:!emitted ~errors:!failures
+              ?occupancy:(if stream_mode then Some (!produced - !emitted) else None)
+              ()
+      in
       let emit_line ~journal ~fresh idx line =
         (match summary_state with
         | Some st -> Summary.add st line
@@ -863,6 +884,15 @@ let batch_cmd =
               | Some w -> max chunk w
               | None -> max 1 (4 * jobs * chunk)
             in
+            (match progress with
+            | Some interval ->
+                progress_state := Some (Obs.Progress.create ~interval ~window_cap:win ())
+            | None -> ());
+            (* Bound the trace buffer on the streamed path: a million-spec
+               run with --trace keeps the newest 64k events instead of all
+               of them, preserving the constant-memory contract (the export
+               reports the overwritten count as "droppedEvents"). *)
+            if Obs.Trace.active () then Obs.Trace.set_ring (Some 65536);
             (* recnos ring: written by the producer, read by emit — both on
                the calling thread, at most [win] indices apart. *)
             let recnos = Array.make win 0 in
@@ -873,6 +903,8 @@ let batch_cmd =
                 | None -> None
                 | Some r ->
                     recnos.(i mod win) <- r.Workload.Specs.recno;
+                    incr produced;
+                    Obs.Trace.flow_start ~id:i "spec";
                     let skip = replayed journal i in
                     Some (fun () -> if skip then Replayed else solve i r)
             in
@@ -883,7 +915,11 @@ let batch_cmd =
                     ignore
                       (Engine.Batch.stream_seq pool ~chunk ~window:win ~retries
                          ?task_timeout ~cancel:batch_token producer
-                         ~f:(emit ~journal ~recno_of:(fun idx -> recnos.(idx mod win)))))))
+                         ~f:(fun idx outcome ->
+                           emit ~journal
+                             ~recno_of:(fun idx -> recnos.(idx mod win))
+                             idx outcome;
+                           after_emit idx)))))
       end
       else begin
         (* Materialized path: collect the records (computing the digest in
@@ -910,10 +946,15 @@ let batch_cmd =
         let journal = open_journal (header_of digest) in
         journal_ref := Some journal;
         let n = Array.length records in
+        (match progress with
+        | Some interval ->
+            progress_state := Some (Obs.Progress.create ~interval ~total:n ())
+        | None -> ());
         let producer i =
           if i >= n then None
           else begin
             let r = records.(i) in
+            Obs.Trace.flow_start ~id:i "spec";
             let skip = replayed journal i in
             Some (fun () -> if skip then Replayed else solve i r)
           end
@@ -925,9 +966,11 @@ let batch_cmd =
                 ignore
                   (Engine.Batch.stream_seq pool ~chunk ~window:(max n 1) ~retries
                      ?task_timeout ~cancel:batch_token producer
-                     ~f:
-                       (emit ~journal
-                          ~recno_of:(fun idx -> records.(idx).Workload.Specs.recno)))))
+                     ~f:(fun idx outcome ->
+                       emit ~journal
+                         ~recno_of:(fun idx -> records.(idx).Workload.Specs.recno)
+                         idx outcome;
+                       after_emit idx))))
       end;
       Sys.set_signal Sys.sigint prev_sigint;
       (match !journal_ref with
@@ -935,6 +978,9 @@ let batch_cmd =
       | _ -> ());
       Robust.Chaos.disarm ();
       (match summary_state with Some st -> Summary.render st | None -> ());
+      (match !progress_state with
+      | Some p -> Obs.Progress.finish p ~done_:!emitted ~errors:!failures
+      | None -> ());
       if Robust.Cancel.cancelled batch_token then 130
       else if !failures > 0 then 1
       else 0
@@ -1104,6 +1150,19 @@ let batch_cmd =
              $(docv); output bytes never change."
           ~docv:"W")
   in
+  let progress =
+    Arg.(
+      value
+      & opt ~vopt:(Some 2.0) (some float) None
+      & info [ "progress" ]
+          ~doc:
+            "Emit a heartbeat line to stderr every $(docv) seconds (default 2): \
+             done count (with total and ETA when the corpus size is known), \
+             specs/s, error count, streaming-window occupancy, and peak RSS; a \
+             final line summarizes the whole run. Driven from the caller-thread \
+             pull loop — stdout stays byte-identical."
+          ~docv:"SECS")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -1114,7 +1173,7 @@ let batch_cmd =
     Term.(
       const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo $ retries
       $ task_timeout $ checkpoint $ resume $ verbose_errors $ chaos $ chaos_seed
-      $ stream_mode $ summary $ shards $ sync_every $ chunk $ win_opt)
+      $ stream_mode $ summary $ shards $ sync_every $ chunk $ win_opt $ progress)
 
 (* ------------------------------------------------------------- hardness *)
 
@@ -1195,6 +1254,151 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc:"List or run the fixed regression corpus.")
     Term.(const run $ entry_name)
 
+(* ------------------------------------------------------------- obs-diff *)
+
+(* Snapshot comparator: parse two Obs.Metrics snapshots (text, JSON, or
+   OpenMetrics — Obs.Snapshot autodetects), join them on the flat key
+   space, and report added/removed/changed scalars. With
+   --max-regression-pct it becomes a CI gate: exit 1 when any compared
+   metric moved by more than P percent (P = 0 demands exact equality —
+   the right setting for deterministic-class counters over a fixed
+   corpus). *)
+let obs_diff_cmd =
+  let run a_path b_path max_reg only cls =
+    try
+      let load path =
+        match Obs.Snapshot.load path with
+        | exception Sys_error msg -> raise (Usage msg)
+        | entries -> entries
+      in
+      let has_prefix p s =
+        String.length s >= String.length p && String.sub s 0 (String.length p) = p
+      in
+      let wanted (e : Obs.Snapshot.entry) =
+        (match only with None -> true | Some p -> has_prefix p e.key)
+        && match cls with None -> true | Some c -> e.cls = Some c
+      in
+      let to_map path =
+        let m =
+          load path |> List.filter wanted
+          |> List.map (fun (e : Obs.Snapshot.entry) -> (e.key, e.v))
+          |> List.sort_uniq compare
+        in
+        if m = [] then
+          raise
+            (Usage
+               (path
+              ^ ": no metrics matched (wrong format? --class on a text snapshot, which \
+                 records no class?)"));
+        m
+      in
+      let a = to_map a_path and b = to_map b_path in
+      let compared = ref 0
+      and changed = ref 0
+      and added = ref 0
+      and removed = ref 0
+      and worst = ref 0.0 in
+      let pct va vb =
+        if va = vb then 0.0
+        else if va = 0.0 then infinity
+        else abs_float ((vb -. va) /. va) *. 100.0
+      in
+      let rec go xs ys =
+        match (xs, ys) with
+        | [], [] -> ()
+        | (k, v) :: tx, [] ->
+            incr removed;
+            Printf.printf "  - %-44s %.6g\n" k v;
+            go tx []
+        | [], (k, v) :: ty ->
+            incr added;
+            Printf.printf "  + %-44s %.6g\n" k v;
+            go [] ty
+        | ((ka, va) :: tx as xs'), ((kb, vb) :: ty as ys') ->
+            if ka < kb then begin
+              incr removed;
+              Printf.printf "  - %-44s %.6g\n" ka va;
+              go tx ys'
+            end
+            else if kb < ka then begin
+              incr added;
+              Printf.printf "  + %-44s %.6g\n" kb vb;
+              go xs' ty
+            end
+            else begin
+              incr compared;
+              let p = pct va vb in
+              if p > 0.0 then begin
+                incr changed;
+                if p > !worst then worst := p;
+                Printf.printf "  ~ %-44s %.6g -> %.6g  (%.2f%%)\n" ka va vb p
+              end;
+              go tx ty
+            end
+      in
+      go a b;
+      Printf.printf "obs-diff: %d compared, %d changed, %d added, %d removed" !compared
+        !changed !added !removed;
+      if !changed > 0 then Printf.printf "; worst %.2f%%" !worst;
+      print_newline ();
+      match max_reg with
+      | Some limit when !worst > limit ->
+          Printf.eprintf "obs-diff: regression %.2f%% exceeds --max-regression-pct %g\n"
+            !worst limit;
+          1
+      | Some _ | None -> 0
+    with Usage msg ->
+      prerr_endline ("sosctl obs-diff: " ^ msg);
+      2
+  in
+  let a_path =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"Baseline snapshot (text, JSON, or OpenMetrics).")
+  in
+  let b_path =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Candidate snapshot to compare against $(i,A).")
+  in
+  let max_reg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-regression-pct" ]
+          ~doc:
+            "Exit 1 if any compared metric differs from $(i,A) by more than $(docv) \
+             percent (0 demands exact equality). Without this flag the diff is \
+             informational and always exits 0."
+          ~docv:"P")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ]
+          ~doc:"Restrict the comparison to metrics whose key starts with $(docv)."
+          ~docv:"PREFIX")
+  in
+  let cls =
+    Arg.(
+      value
+      & opt (some (enum [ ("det", "det"); ("runtime", "runtime") ])) None
+      & info [ "class" ]
+          ~doc:
+            "Restrict to one determinism class (JSON and OpenMetrics snapshots record \
+             it; plain-text snapshots do not). $(b,det) with \
+             --max-regression-pct 0 is the deterministic trajectory gate."
+          ~docv:"CLASS")
+  in
+  Cmd.v
+    (Cmd.info "obs-diff"
+       ~doc:
+         "Compare two telemetry snapshots (text/JSON/OpenMetrics) and optionally \
+          fail on regressions — the CI replacement for ad-hoc greps over \
+          BENCH_metrics.json.")
+    Term.(const run $ a_path $ b_path $ max_reg $ only $ cls)
+
 let () =
   let doc = "Multiprocessor scheduling with a sharable resource (SPAA 2017)" in
   let info = Cmd.info "sosctl" ~version:"1.0.0" ~doc in
@@ -1203,5 +1407,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; solve_cmd; analyze_cmd; ratio_cmd; binpack_cmd; sas_cmd;
-            export_cmd; corpus_cmd; hardness_cmd; batch_cmd;
+            export_cmd; corpus_cmd; hardness_cmd; batch_cmd; obs_diff_cmd;
           ]))

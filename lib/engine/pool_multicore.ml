@@ -29,6 +29,17 @@ let c_tasks = Obs.Metrics.counter "engine.pool.tasks"
 let g_queue_hwm = Obs.Metrics.runtime_counter "engine.pool.queue_hwm"
 let t_queue_wait = Obs.Metrics.timer "engine.pool.queue_wait"
 
+(* Streaming-window distribution telemetry (runtime class, PR 8): how
+   long each producer pull takes on the caller thread, and how full the
+   in-flight window is at the moment of each pull — a window that samples
+   near its capacity means the producer keeps the workers fed. *)
+let h_pull = Obs.Hist.runtime "engine.pool.pull_s"
+
+let h_occupancy =
+  Obs.Hist.runtime
+    ~bounds:(Obs.Hist.log_bounds ~lo:1.0 ~hi:65536.0 ~per_decade:5)
+    "engine.pool.window_occupancy"
+
 let domain_counter w = Obs.Metrics.runtime_counter (Printf.sprintf "engine.pool.d%d.tasks" w)
 let g_deaths = Obs.Metrics.runtime_counter "engine.pool.worker_deaths"
 
@@ -205,7 +216,11 @@ let run_ordered_seq t ?(chunk = 1) ?window supply ~emit =
     while (not !exhausted) || !next_emit < !next_submit do
       let inflight = !next_submit - !next_emit in
       if (not !exhausted) && window - inflight >= chunk then begin
+        let obs = Obs.Metrics.enabled () in
+        if obs then Obs.Hist.observe_int h_occupancy inflight;
+        let t0 = if obs then Prelude.Clock.now () else 0.0 in
         let thunks = pull chunk in
+        if obs then Obs.Hist.observe h_pull (Prelude.Clock.now () -. t0);
         let k = Array.length thunks in
         if k > 0 then begin
           let lo = !next_submit in

@@ -10,6 +10,16 @@ type t = { domains : int; mutable stop : bool }
    (the runtime-class queue metrics have no sequential analogue). *)
 let c_tasks = Obs.Metrics.counter "engine.pool.tasks"
 
+(* Registered here too so both legs list the same histogram names; the
+   sequential pull loop records its supply latency, while occupancy has
+   no sequential analogue (at most one task is ever in flight). *)
+let h_pull = Obs.Hist.runtime "engine.pool.pull_s"
+
+let _h_occupancy =
+  Obs.Hist.runtime
+    ~bounds:(Obs.Hist.log_bounds ~lo:1.0 ~hi:65536.0 ~per_decade:5)
+    "engine.pool.window_occupancy"
+
 let recommended_domain_count () = 1
 
 let create ?domains () =
@@ -48,7 +58,11 @@ let run_ordered_seq t ?chunk ?window supply ~emit =
   if t.stop then
     raise (Robust.Failure.Pool_down "Engine.Pool: run_ordered_seq after shutdown");
   let rec go i =
-    match supply i with
+    let obs = Obs.Metrics.enabled () in
+    let t0 = if obs then Prelude.Clock.now () else 0.0 in
+    let pulled = supply i in
+    if obs then Obs.Hist.observe h_pull (Prelude.Clock.now () -. t0);
+    match pulled with
     | None -> i
     | Some task ->
         Obs.Metrics.incr c_tasks;

@@ -8,14 +8,42 @@ type kind = Det | Runtime
 
 type counter = { c_name : string; c_kind : kind; cell : int Atomic.t }
 
+(* Timers retain a bounded ring of the most recent [timer_cap] samples:
+   percentiles are computed over the ring, while [t_total]/[t_sum]/[t_max]
+   cover every observation ever made. This keeps a million-spec streamed
+   run at O(1) memory per timer; long-run distributions belong to
+   histograms, which are bounded by construction. *)
+let timer_cap = 4096
+
 type timer = {
   t_name : string;
   t_lock : bool Atomic.t;
   mutable samples : float array;
-  mutable len : int;
+  mutable len : int; (* retained samples *)
+  mutable pos : int; (* ring write cursor once capped *)
+  mutable t_total : int; (* observations ever *)
+  mutable t_sum : float;
+  mutable t_max : float;
 }
 
-type entry = Counter of counter | Timer of timer
+(* Histograms: fixed strictly-increasing upper bounds plus one overflow
+   bucket, each count its own atomic. Recording is a binary search and one
+   fetch_and_add — lock-free and commutative, so a deterministic-class
+   histogram over a fixed workload is byte-identical at any [-j]. The max
+   is folded in with a CAS loop (commutative); the sum is a float CAS
+   accumulator whose low bits are ordering-dependent, so it is exposed
+   only through runtime-facing renderings (OpenMetrics), never through the
+   deterministic snapshot. *)
+type hist = {
+  h_name : string;
+  h_kind : kind;
+  bounds : float array;
+  buckets : int Atomic.t array; (* length bounds + 1; last = overflow *)
+  h_max : float Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type entry = Counter of counter | Timer of timer | Hist of hist
 
 let on = Atomic.make false
 let enable () = Atomic.set on true
@@ -49,6 +77,8 @@ let counter_of_kind kind name =
         (Printf.sprintf "Obs.Metrics: %S already registered with another class" name)
   | Timer _ ->
       invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a timer" name)
+  | Hist _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a histogram" name)
 
 let counter name = counter_of_kind Det name
 let runtime_counter name = counter_of_kind Runtime name
@@ -73,29 +103,51 @@ let get name =
   release reg_lock;
   match e with
   | Some (Counter c) -> Atomic.get c.cell
-  | Some (Timer _) ->
-      invalid_arg (Printf.sprintf "Obs.Metrics.get: %S is a timer" name)
+  | Some (Timer _) -> invalid_arg (Printf.sprintf "Obs.Metrics.get: %S is a timer" name)
+  | Some (Hist _) ->
+      invalid_arg (Printf.sprintf "Obs.Metrics.get: %S is a histogram" name)
   | None -> invalid_arg (Printf.sprintf "Obs.Metrics.get: unknown counter %S" name)
 
 let timer name =
   match
     register name (fun () ->
-        Timer { t_name = name; t_lock = Atomic.make false; samples = Array.make 64 0.0; len = 0 })
+        Timer
+          {
+            t_name = name;
+            t_lock = Atomic.make false;
+            samples = Array.make 64 0.0;
+            len = 0;
+            pos = 0;
+            t_total = 0;
+            t_sum = 0.0;
+            t_max = neg_infinity;
+          })
   with
   | Timer t -> t
   | Counter _ ->
       invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a counter" name)
+  | Hist _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a histogram" name)
 
 let observe t dt =
   if Atomic.get on then begin
     acquire t.t_lock;
-    if t.len = Array.length t.samples then begin
-      let bigger = Array.make (2 * t.len) 0.0 in
-      Array.blit t.samples 0 bigger 0 t.len;
-      t.samples <- bigger
+    if t.len < timer_cap then begin
+      if t.len = Array.length t.samples then begin
+        let bigger = Array.make (min timer_cap (2 * t.len)) 0.0 in
+        Array.blit t.samples 0 bigger 0 t.len;
+        t.samples <- bigger
+      end;
+      t.samples.(t.len) <- dt;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.samples.(t.pos) <- dt;
+      t.pos <- (t.pos + 1) mod timer_cap
     end;
-    t.samples.(t.len) <- dt;
-    t.len <- t.len + 1;
+    t.t_total <- t.t_total + 1;
+    t.t_sum <- t.t_sum +. dt;
+    if dt > t.t_max then t.t_max <- dt;
     release t.t_lock
   end
 
@@ -105,6 +157,130 @@ let time t f =
     let t0 = Prelude.Clock.now () in
     Fun.protect ~finally:(fun () -> observe t (Prelude.Clock.now () -. t0)) f
   end
+
+(* ----------------------------------------------------------- histograms *)
+
+let log_bounds ~lo ~hi ~per_decade =
+  if not (lo > 0.0 && hi > lo && per_decade > 0) then
+    invalid_arg "Obs.Metrics.log_bounds: need 0 < lo < hi and per_decade > 0";
+  let n = int_of_float (ceil (float_of_int per_decade *. (log10 hi -. log10 lo))) in
+  Array.init (n + 1) (fun i -> lo *. (10.0 ** (float_of_int i /. float_of_int per_decade)))
+
+let linear_bounds ~lo ~hi ~step =
+  if not (step > 0.0 && hi > lo) then
+    invalid_arg "Obs.Metrics.linear_bounds: need step > 0 and hi > lo";
+  let n = int_of_float (ceil ((hi -. lo) /. step)) in
+  Array.init (n + 1) (fun i -> lo +. (float_of_int i *. step))
+
+(* Default: 5 buckets per decade across 1e-6 .. 1e6 — wide enough for
+   latencies in seconds and for iteration/block counts alike, 61 bounds. *)
+let default_bounds = log_bounds ~lo:1e-6 ~hi:1e6 ~per_decade:5
+
+let hist_of_kind kind ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then invalid_arg "Obs.Metrics: histogram needs bounds";
+  match
+    register name (fun () ->
+        Hist
+          {
+            h_name = name;
+            h_kind = kind;
+            bounds = Array.copy bounds;
+            buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            h_max = Atomic.make neg_infinity;
+            h_sum = Atomic.make 0.0;
+          })
+  with
+  | Hist h when h.h_kind = kind && Array.length h.bounds = Array.length bounds -> h
+  | Hist _ ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S already registered with another class or bucket layout"
+           name)
+  | Counter _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a counter" name)
+  | Timer _ ->
+      invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered as a timer" name)
+
+let hist ?bounds name = hist_of_kind Det ?bounds name
+let runtime_hist ?bounds name = hist_of_kind Runtime ?bounds name
+
+let rec cas_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then cas_max cell v
+
+let rec cas_add cell v =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. v)) then cas_add cell v
+
+(* First bucket whose upper bound covers [v]; NaN and anything above the
+   last bound land in the overflow bucket. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  if not (v <= bounds.(n - 1)) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let hist_observe h v =
+  if Atomic.get on then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index h.bounds v) 1);
+    cas_max h.h_max v;
+    cas_add h.h_sum v
+  end
+
+let hist_observe_int h v = hist_observe h (float_of_int v)
+
+let hist_counts h = Array.map Atomic.get h.buckets
+let hist_count h = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+let hist_sum h = Atomic.get h.h_sum
+
+let hist_max h =
+  let m = Atomic.get h.h_max in
+  if m = neg_infinity then 0.0 else m
+
+(* Quantile over bucket counts: the representative value is the matched
+   bucket's upper bound, clamped to the exact observed max — a pure
+   function of (counts, max), both of which are commutative, so
+   deterministic-class quantiles are reproducible at any [-j]. *)
+let quantile_of_counts bounds counts mx q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let b = ref 0 and acc = ref 0 in
+    let n = Array.length counts in
+    (try
+       for i = 0 to n - 1 do
+         acc := !acc + counts.(i);
+         if !acc >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done;
+       b := n - 1
+     with Exit -> ());
+    if !b >= Array.length bounds then mx
+    else begin
+      let ub = bounds.(!b) in
+      if mx < ub then mx else ub
+    end
+  end
+
+let hist_quantile h q = quantile_of_counts h.bounds (hist_counts h) (hist_max h) q
+
+let hist_merge_into ~into src =
+  if Array.length into.bounds <> Array.length src.bounds then
+    invalid_arg "Obs.Metrics.hist_merge_into: bucket layouts differ";
+  Array.iteri
+    (fun i b -> ignore (Atomic.fetch_and_add into.buckets.(i) (Atomic.get b)))
+    src.buckets;
+  cas_max into.h_max (Atomic.get src.h_max);
+  cas_add into.h_sum (Atomic.get src.h_sum)
 
 let[@sos.allow
      "R5: zeroing every registered cell is order-insensitive — no output or digest is derived \
@@ -117,13 +293,23 @@ let[@sos.allow
       | Timer t ->
           acquire t.t_lock;
           t.len <- 0;
-          release t.t_lock)
+          t.pos <- 0;
+          t.t_total <- 0;
+          t.t_sum <- 0.0;
+          t.t_max <- neg_infinity;
+          release t.t_lock
+      | Hist h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.h_max neg_infinity;
+          Atomic.set h.h_sum 0.0)
     registry;
   release reg_lock
 
 (* ------------------------------------------------------------ snapshots *)
 
 type snapshot_class = [ `Deterministic | `Runtime | `All ]
+
+let class_name = function Det -> "det" | Runtime -> "runtime"
 
 (* A consistent view: entries sorted by name, timer samples copied out
    under their locks so a concurrent observe can't tear the percentiles. *)
@@ -133,21 +319,27 @@ let[@sos.allow
   acquire reg_lock;
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) registry [] in
   release reg_lock;
-  let wanted = function
-    | Counter { c_kind = Det; _ } -> cls = `Deterministic || cls = `All
-    | Counter { c_kind = Runtime; _ } | Timer _ -> cls = `Runtime || cls = `All
+  let det_kind = function Det -> cls = `Deterministic || cls = `All
+    | Runtime -> cls = `Runtime || cls = `All
   in
-  let name = function Counter c -> c.c_name | Timer t -> t.t_name in
+  let wanted = function
+    | Counter c -> det_kind c.c_kind
+    | Timer _ -> cls = `Runtime || cls = `All
+    | Hist h -> det_kind h.h_kind
+  in
+  let name = function Counter c -> c.c_name | Timer t -> t.t_name | Hist h -> h.h_name in
   entries
   |> List.filter wanted
   |> List.sort (fun a b -> compare (name a) (name b))
   |> List.map (function
-       | Counter c -> `C (c.c_name, Atomic.get c.cell)
+       | Counter c -> `C (c.c_name, c.c_kind, Atomic.get c.cell)
        | Timer t ->
            acquire t.t_lock;
            let xs = Array.sub t.samples 0 t.len in
+           let total = t.t_total and sum = t.t_sum and mx = t.t_max in
            release t.t_lock;
-           `T (t.t_name, xs))
+           `T (t.t_name, xs, total, sum, mx)
+       | Hist h -> `H (h.h_name, h.h_kind, h.bounds, hist_counts h, hist_max h, hist_sum h))
 
 let timer_stats xs =
   let n = Array.length xs in
@@ -158,33 +350,118 @@ let timer_stats xs =
       Prelude.Stats.percentile xs 0.95,
       Array.fold_left max neg_infinity xs )
 
+(* (count, p50, p90, p99, max) from a collected histogram view. *)
+let hist_stats bounds counts mx =
+  let total = Array.fold_left ( + ) 0 counts in
+  let q p = quantile_of_counts bounds counts mx p in
+  (total, q 0.5, q 0.9, q 0.99, if total = 0 then 0.0 else mx)
+
 let snapshot ?(cls = `All) () =
   let buf = Buffer.create 512 in
   List.iter
     (function
-      | `C (name, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
-      | `T (name, xs) ->
-          let n, p50, p95, mx = timer_stats xs in
+      | `C (name, _, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+      | `T (name, xs, total, _, mx) ->
+          let _, p50, p95, _ = timer_stats xs in
+          let mx = if total = 0 then 0.0 else mx in
           Buffer.add_string buf
-            (Printf.sprintf "%s count=%d p50=%.3fms p95=%.3fms max=%.3fms\n" name n
-               (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3)))
+            (Printf.sprintf "%s count=%d p50=%.3fms p95=%.3fms max=%.3fms\n" name total
+               (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3))
+      | `H (name, _, bounds, counts, mx, _) ->
+          let total, p50, p90, p99, mx = hist_stats bounds counts mx in
+          Buffer.add_string buf
+            (Printf.sprintf "%s count=%d p50=%.6g p90=%.6g p99=%.6g max=%.6g\n" name total p50
+               p90 p99 mx))
     (collect cls);
   Buffer.contents buf
 
 let snapshot_json ?(cls = `All) () =
-  let counters, timers =
-    List.partition_map
-      (function `C (n, v) -> Left (n, v) | `T (n, xs) -> Right (n, xs))
-      (collect cls)
-  in
-  let counter_json (n, v) = Printf.sprintf "    {\"name\": %S, \"value\": %d}" n v in
-  let timer_json (name, xs) =
-    let n, p50, p95, mx = timer_stats xs in
-    Printf.sprintf
-      "    {\"name\": %S, \"count\": %d, \"p50_ms\": %.6f, \"p95_ms\": %.6f, \
-       \"max_ms\": %.6f}"
-      name n (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3)
-  in
-  Printf.sprintf "{\n  \"counters\": [\n%s\n  ],\n  \"timers\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map counter_json counters))
-    (String.concat ",\n" (List.map timer_json timers))
+  let counters = ref [] and timers = ref [] and hists = ref [] in
+  List.iter
+    (function
+      | `C (n, k, v) ->
+          counters :=
+            Printf.sprintf "    {\"name\": %S, \"class\": %S, \"value\": %d}" n (class_name k) v
+            :: !counters
+      | `T (name, xs, total, sum, mx) ->
+          let _, p50, p95, _ = timer_stats xs in
+          let mx = if total = 0 then 0.0 else mx in
+          timers :=
+            Printf.sprintf
+              "    {\"name\": %S, \"class\": \"runtime\", \"count\": %d, \"p50_ms\": %.6f, \
+               \"p95_ms\": %.6f, \"max_ms\": %.6f, \"sum_ms\": %.6f}"
+              name total (p50 *. 1e3) (p95 *. 1e3) (mx *. 1e3) (sum *. 1e3)
+            :: !timers
+      | `H (name, k, bounds, counts, mx, _) ->
+          let total, p50, p90, p99, mx = hist_stats bounds counts mx in
+          let bucket_json i c =
+            if c = 0 then None
+            else if i >= Array.length bounds then
+              Some (Printf.sprintf "{\"le\": \"+Inf\", \"n\": %d}" c)
+            else Some (Printf.sprintf "{\"le\": %.9g, \"n\": %d}" bounds.(i) c)
+          in
+          let bs =
+            Array.to_list (Array.mapi bucket_json counts) |> List.filter_map Fun.id
+          in
+          hists :=
+            Printf.sprintf
+              "    {\"name\": %S, \"class\": %S, \"count\": %d, \"p50\": %.6g, \"p90\": %.6g, \
+               \"p99\": %.6g, \"max\": %.6g, \"buckets\": [%s]}"
+              name (class_name k) total p50 p90 p99 mx (String.concat ", " bs)
+            :: !hists)
+    (collect cls);
+  let section xs = String.concat ",\n" (List.rev xs) in
+  Printf.sprintf
+    "{\n  \"counters\": [\n%s\n  ],\n  \"timers\": [\n%s\n  ],\n  \"hists\": [\n%s\n  ]\n}\n"
+    (section !counters) (section !timers) (section !hists)
+
+(* ---------------------------------------------------------- OpenMetrics *)
+
+(* OpenMetrics text exposition (the Prometheus scrape format): counters
+   as [name_total], timers as summaries (seconds), histograms as
+   cumulative [name_bucket{le=...}] families. Every sample carries a
+   [class] label naming its determinism class. The output ends with
+   [# EOF] as the spec requires. *)
+
+let sanitize_metric_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let to_openmetrics ?(cls = `All) () =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (function
+      | `C (name, k, v) ->
+          let m = sanitize_metric_name name in
+          add "# TYPE %s counter\n" m;
+          add "%s_total{class=%S} %d\n" m (class_name k) v
+      | `T (name, xs, total, sum, mx) ->
+          let m = sanitize_metric_name name in
+          let _, p50, p95, _ = timer_stats xs in
+          let mx = if total = 0 then 0.0 else mx in
+          add "# TYPE %s summary\n" m;
+          add "%s{class=\"runtime\",quantile=\"0.5\"} %.9g\n" m p50;
+          add "%s{class=\"runtime\",quantile=\"0.95\"} %.9g\n" m p95;
+          add "%s{class=\"runtime\",quantile=\"1\"} %.9g\n" m mx;
+          add "%s_count{class=\"runtime\"} %d\n" m total;
+          add "%s_sum{class=\"runtime\"} %.9g\n" m sum
+      | `H (name, k, bounds, counts, _, sum) ->
+          let m = sanitize_metric_name name in
+          let c = class_name k in
+          add "# TYPE %s histogram\n" m;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              if i < Array.length bounds then
+                add "%s_bucket{class=%S,le=\"%.9g\"} %d\n" m c bounds.(i) !cum
+              else add "%s_bucket{class=%S,le=\"+Inf\"} %d\n" m c !cum)
+            counts;
+          add "%s_count{class=%S} %d\n" m c !cum;
+          add "%s_sum{class=%S} %.9g\n" m c sum)
+    (collect cls);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -70,8 +70,10 @@ val get : string -> int
 
 (** {1 Timers}
 
-    Wall-clock histograms ([Prelude.Clock] seconds). Always runtime
-    class. *)
+    Wall-clock samples ([Prelude.Clock] seconds). Always runtime class.
+    Percentiles are computed over a bounded ring of the most recent 4096
+    samples (count/sum/max cover every observation), so a timer never
+    grows with the run — million-spec streams stay O(1) memory. *)
 
 type timer
 
@@ -84,6 +86,56 @@ val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk, recording its wall duration (also on exception). When
     recording is disabled this is just the call. *)
 
+(** {1 Histograms}
+
+    Fixed-bucket histograms: strictly increasing upper [bounds] plus one
+    overflow bucket, each count an atomic — recording is a binary search
+    and one [fetch_and_add], lock-free and commutative. A
+    {e deterministic}-class histogram over a fixed workload therefore
+    snapshots byte-identically at any [-j]; {e runtime}-class histograms
+    (latencies, occupancy) carry no such promise. Quantiles are bucket
+    upper bounds clamped to the exact observed max. *)
+
+type hist
+
+val hist : ?bounds:float array -> string -> hist
+(** Register (or look up) a {e deterministic} histogram. Default bounds:
+    {!log_bounds} over [1e-6 .. 1e6] at 5 buckets/decade. Raises
+    [Invalid_argument] on a kind, type, or bucket-layout mismatch with an
+    existing registration. *)
+
+val runtime_hist : ?bounds:float array -> string -> hist
+(** The runtime-class variant of {!hist}. *)
+
+val log_bounds : lo:float -> hi:float -> per_decade:int -> float array
+(** Log-scale bucket upper bounds from [lo] to at least [hi]. *)
+
+val linear_bounds : lo:float -> hi:float -> step:float -> float array
+(** Uniform bucket upper bounds from [lo] to at least [hi]. *)
+
+val hist_observe : hist -> float -> unit
+(** Record one value. NaN and values above the last bound land in the
+    overflow bucket. *)
+
+val hist_observe_int : hist -> int -> unit
+
+val hist_count : hist -> int
+(** Total observations, readable whether or not recording is enabled. *)
+
+val hist_max : hist -> float
+(** Exact largest observed value (0 when empty). *)
+
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h q] for [q] in [0..1]: the upper bound of the bucket
+    holding the rank-⌈q·n⌉ observation, clamped to {!hist_max}; 0 when
+    empty. Deterministic for deterministic-class histograms. *)
+
+val hist_merge_into : into:hist -> hist -> unit
+(** Add [src]'s buckets/max/sum into [into] (atomic per bucket, hence
+    lock-free, commutative, and associative). The two histograms must
+    share a bucket layout; raises [Invalid_argument] otherwise. Works
+    whether or not recording is enabled. *)
+
 (** {1 Snapshots} *)
 
 type snapshot_class = [ `Deterministic | `Runtime | `All ]
@@ -91,9 +143,25 @@ type snapshot_class = [ `Deterministic | `Runtime | `All ]
 val snapshot : ?cls:snapshot_class -> unit -> string
 (** Plain-text snapshot, one metric per line, sorted by name:
     [name value] for counters, [name count=N p50=…ms p95=…ms max=…ms] for
-    timers. Default class [`All]. With [`Deterministic] the output is a
-    pure function of the recorded algorithmic events. *)
+    timers, [name count=N p50=… p90=… p99=… max=…] for histograms.
+    Default class [`All]. With [`Deterministic] the output is a pure
+    function of the recorded algorithmic events. *)
 
 val snapshot_json : ?cls:snapshot_class -> unit -> string
-(** The same data as JSON: [{"counters": [...], "timers": [...]}], sorted
-    by name. *)
+(** The same data as JSON:
+    [{"counters": [...], "timers": [...], "hists": [...]}], sorted by
+    name. Every entry carries a ["class"] field ("det" or "runtime");
+    histogram entries list their non-empty buckets as
+    [{"le": bound, "n": count}] (overflow bucket: ["le": "+Inf"]). *)
+
+val to_openmetrics : ?cls:snapshot_class -> unit -> string
+(** OpenMetrics text exposition (the Prometheus scrape format), sorted by
+    name, terminated by [# EOF]. Counters become [name_total] counter
+    families, timers become summaries in seconds (quantiles 0.5/0.95/1
+    plus [_count]/[_sum]), histograms become cumulative
+    [name_bucket{le="…"}] families. Metric names have non-identifier
+    characters mapped to ['_'] (["sos.fast.runs"] → [sos_fast_runs]);
+    every sample carries a [class="det"|"runtime"] label. Float sums are
+    ordering-dependent in their low bits, so this rendering carries no
+    byte-identity promise — use {!snapshot} with [`Deterministic] for
+    that. *)

@@ -1,0 +1,111 @@
+(* Heartbeat reporter for long runs. Everything is driven from whatever
+   thread calls [tick] — for [sosctl batch] that is the caller-thread
+   pull loop, so heartbeats never touch worker domains, stdout stays
+   byte-identical, and the 4.14 sequential leg needs nothing special.
+   Output goes through the [out] sink, which defaults to stderr (the one
+   stream the repo's purity rule leaves open for diagnostics). *)
+
+type t = {
+  interval : float;
+  total : int option;
+  window_cap : int option;
+  out : string -> unit;
+  started : float;
+  mutable last_t : float;
+  mutable last_done : int;
+  mutable beats : int;
+}
+
+let to_stderr s =
+  output_string stderr s;
+  flush stderr
+
+let vmhwm_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception _ -> None
+  | body ->
+      let prefix = "VmHWM:" in
+      String.split_on_char '\n' body
+      |> List.find_map (fun line ->
+             if String.length line > String.length prefix
+                && String.sub line 0 (String.length prefix) = prefix
+             then
+               String.sub line (String.length prefix)
+                 (String.length line - String.length prefix)
+               |> String.trim
+               |> fun rest ->
+               (match String.index_opt rest ' ' with
+               | Some i -> int_of_string_opt (String.sub rest 0 i)
+               | None -> int_of_string_opt rest)
+             else None)
+
+let create ?(interval = 2.0) ?total ?window_cap ?(out = to_stderr) () =
+  let now = Prelude.Clock.now () in
+  {
+    interval = (if interval < 0.0 then 0.0 else interval);
+    total;
+    window_cap;
+    out;
+    started = now;
+    last_t = now;
+    last_done = 0;
+    beats = 0;
+  }
+
+let format_line ~done_ ~total ~rate ~errors ~window ~rss_kb ~eta_s =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "progress %d" done_);
+  (match total with
+  | Some t ->
+      Buffer.add_string b
+        (Printf.sprintf "/%d (%.1f%%)" t (100.0 *. float_of_int done_ /. float_of_int (max 1 t)))
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf " %.0f/s err=%d" rate errors);
+  (match window with
+  | Some (occ, cap) -> Buffer.add_string b (Printf.sprintf " window=%d/%d" occ cap)
+  | None -> ());
+  (match rss_kb with
+  | Some kb -> Buffer.add_string b (Printf.sprintf " vmhwm=%dkB" kb)
+  | None -> ());
+  (match eta_s with
+  | Some s -> Buffer.add_string b (Printf.sprintf " eta=%.0fs" s)
+  | None -> ());
+  Buffer.contents b
+
+let format_final ~done_ ~total ~errors ~elapsed_s =
+  let rate = if elapsed_s > 0.0 then float_of_int done_ /. elapsed_s else 0.0 in
+  Printf.sprintf "progress done %d%s err=%d elapsed=%.1fs avg=%.0f/s" done_
+    (match total with Some t -> Printf.sprintf "/%d" t | None -> "")
+    errors elapsed_s rate
+
+let tick t ~done_ ~errors ?occupancy () =
+  let now = Prelude.Clock.now () in
+  let dt = now -. t.last_t in
+  if dt >= t.interval then begin
+    let rate = if dt > 0.0 then float_of_int (done_ - t.last_done) /. dt else 0.0 in
+    let eta_s =
+      match t.total with
+      | Some total when rate > 0.0 && total > done_ ->
+          Some (float_of_int (total - done_) /. rate)
+      | _ -> None
+    in
+    let window =
+      match (occupancy, t.window_cap) with
+      | Some occ, Some cap -> Some (occ, cap)
+      | Some occ, None -> Some (occ, occ)
+      | None, _ -> None
+    in
+    t.out
+      (format_line ~done_ ~total:t.total ~rate ~errors ~window ~rss_kb:(vmhwm_kb ()) ~eta_s
+      ^ "\n");
+    t.last_t <- now;
+    t.last_done <- done_;
+    t.beats <- t.beats + 1
+  end
+
+let finish t ~done_ ~errors =
+  let elapsed_s = Prelude.Clock.now () -. t.started in
+  t.out (format_final ~done_ ~total:t.total ~errors ~elapsed_s ^ "\n");
+  t.beats <- t.beats + 1
+
+let beats t = t.beats

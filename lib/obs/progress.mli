@@ -1,0 +1,60 @@
+(** Heartbeat reporter for long-running batches.
+
+    A reporter is driven entirely by its caller: {!tick} on every emitted
+    result (rate-limited to one line per [interval] seconds of
+    [Prelude.Clock] time), {!finish} once at the end. [sosctl batch
+    --progress] ticks from the caller-thread pull loop, so heartbeats
+    involve no worker domains, never touch stdout (byte-identity is
+    preserved), and work identically on the 4.14 sequential leg.
+
+    Heartbeat line (key=value, one per line, written to [out] — default
+    stderr):
+
+    {v progress DONE[/TOTAL (PCT%)] RATE/s err=N [window=OCC/CAP] [vmhwm=NkB] [eta=Ss] v}
+
+    The final line replaces the rate with the whole-run average:
+
+    {v progress done DONE[/TOTAL] err=N elapsed=Ss avg=RATE/s v} *)
+
+type t
+
+val create :
+  ?interval:float ->
+  ?total:int ->
+  ?window_cap:int ->
+  ?out:(string -> unit) ->
+  unit ->
+  t
+(** [interval] seconds between heartbeats (default 2.0; 0 means every
+    tick). [total] enables the [/TOTAL] field and ETA. [window_cap] is
+    the configured streaming-window capacity shown as [window=occ/cap].
+    [out] receives each line including its ["\n"] (default: write and
+    flush stderr). *)
+
+val tick : t -> done_:int -> errors:int -> ?occupancy:int -> unit -> unit
+(** Report progress; emits a heartbeat iff at least [interval] seconds
+    have passed since the last one. [occupancy] is the current number of
+    in-flight specs in the streaming window. *)
+
+val finish : t -> done_:int -> errors:int -> unit
+(** Emit the final summary line unconditionally. *)
+
+val beats : t -> int
+(** Number of lines emitted so far (tests). *)
+
+(** {1 Pure formatting} (exposed for golden tests) *)
+
+val format_line :
+  done_:int ->
+  total:int option ->
+  rate:float ->
+  errors:int ->
+  window:(int * int) option ->
+  rss_kb:int option ->
+  eta_s:float option ->
+  string
+
+val format_final : done_:int -> total:int option -> errors:int -> elapsed_s:float -> string
+
+val vmhwm_kb : unit -> int option
+(** Peak RSS in kB from [/proc/self/status]; [None] where unavailable. *)

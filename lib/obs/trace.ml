@@ -1,16 +1,24 @@
 (* Event buffer under the same Atomic spinlock discipline as Metrics:
    multiple domains append concurrently (the pool's workers), export runs
-   on the main thread after the work is done. *)
+   on the main thread after the work is done.
+
+   The buffer is either unbounded (the default, for short diagnostic
+   runs) or a fixed-capacity ring that keeps the newest events and counts
+   the overwritten ones — [sosctl batch --stream --trace] arms the ring
+   so a million-spec run traces in O(ring) memory, preserving the
+   constant-memory contract. *)
 
 type arg = S of string | I of int | F of float
 
 type event = {
   name : string;
   cat : string;
-  ph : char; (* 'X' complete, 'i' instant, 'C' counter, 'M' metadata *)
+  ph : char; (* 'X' complete, 'i' instant, 'C' counter, 'M' metadata,
+                's'/'t'/'f' flow start/step/end *)
   ts : float; (* µs since start *)
   dur : float; (* µs; only for 'X' *)
   tid : int;
+  id : int; (* flow id; -1 = none *)
   args : (string * arg) list;
 }
 
@@ -22,15 +30,56 @@ let acquire () = while not (Atomic.compare_and_set lock false true) do () done
 let release () = Atomic.set lock false
 
 let epoch = ref 0.0
-let events : event list ref = ref [] (* newest first *)
+
+(* Ring state, all guarded by [lock]. Invariant: while the buffer has not
+   wrapped, [head = 0] and events occupy [0 .. len-1]; once capped and
+   full, [head] is the oldest slot and the array length equals the cap. *)
+let buf : event array ref = ref [||]
+let head = ref 0
+let len = ref 0
+let cap : int option ref = ref None
+let dropped_n = ref 0
 
 let reset () =
   acquire ();
-  events := [];
+  buf := [||];
+  head := 0;
+  len := 0;
+  dropped_n := 0;
   release ()
 
-let start () =
+let nth_oldest i = !buf.((!head + i) mod max 1 (Array.length !buf))
+
+let set_ring c =
+  acquire ();
+  (match c with
+  | Some k when k > 0 ->
+      let keep = min !len k in
+      let kept = Array.init keep (fun i -> nth_oldest (!len - keep + i)) in
+      dropped_n := !dropped_n + (!len - keep);
+      buf := kept;
+      head := 0;
+      len := keep;
+      cap := Some k
+  | _ ->
+      (* Unbounded: linearize so the head-0 growth invariant holds. *)
+      if !head <> 0 then begin
+        let lin = Array.init !len nth_oldest in
+        buf := lin;
+        head := 0
+      end;
+      cap := None);
+  release ()
+
+let dropped () =
+  acquire ();
+  let d = !dropped_n in
+  release ();
+  d
+
+let start ?ring () =
   reset ();
+  set_ring ring;
   epoch := Prelude.Clock.now ();
   Atomic.set on true
 
@@ -40,7 +89,22 @@ let now_us () = (Prelude.Clock.now () -. !epoch) *. 1e6
 
 let push e =
   acquire ();
-  events := e :: !events;
+  let room = Array.length !buf in
+  (match !cap with
+  | Some c when room = c && !len = c ->
+      (* Full ring: overwrite the oldest. *)
+      !buf.(!head) <- e;
+      head := (!head + 1) mod c;
+      incr dropped_n
+  | capv ->
+      if !len = room then begin
+        let target = match capv with Some c -> min c (max 64 (2 * max 1 room)) | None -> max 64 (2 * max 1 room) in
+        let bigger = Array.make target e in
+        Array.blit !buf 0 bigger 0 !len;
+        buf := bigger
+      end;
+      !buf.(!len) <- e;
+      incr len);
   release ()
 
 let with_span ?(tid = 0) ?(cat = "app") ?(args = []) name f =
@@ -49,13 +113,13 @@ let with_span ?(tid = 0) ?(cat = "app") ?(args = []) name f =
     let t0 = now_us () in
     Fun.protect
       ~finally:(fun () ->
-        push { name; cat; ph = 'X'; ts = t0; dur = now_us () -. t0; tid; args })
+        push { name; cat; ph = 'X'; ts = t0; dur = now_us () -. t0; tid; id = -1; args })
       f
   end
 
 let instant ?(tid = 0) ?(cat = "app") ?(args = []) name =
   if Atomic.get on then
-    push { name; cat; ph = 'i'; ts = now_us (); dur = 0.0; tid; args }
+    push { name; cat; ph = 'i'; ts = now_us (); dur = 0.0; tid; id = -1; args }
 
 let counter_sample ?(tid = 0) name series =
   if Atomic.get on then
@@ -67,6 +131,7 @@ let counter_sample ?(tid = 0) name series =
         ts = now_us ();
         dur = 0.0;
         tid;
+        id = -1;
         args = List.map (fun (k, v) -> (k, F v)) series;
       }
 
@@ -80,8 +145,17 @@ let set_thread_name ~tid name =
         ts = 0.0;
         dur = 0.0;
         tid;
+        id = -1;
         args = [ ("name", S name) ];
       }
+
+let flow ph ?(tid = 0) ?(cat = "flow") ~id name =
+  if Atomic.get on then
+    push { name; cat; ph; ts = now_us (); dur = 0.0; tid; id; args = [] }
+
+let flow_start = flow 's'
+let flow_step = flow 't'
+let flow_end = flow 'f'
 
 (* ------------------------------------------------------------- export *)
 
@@ -111,6 +185,11 @@ let event_json e =
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
        (escape e.name) (escape e.cat) e.ph e.tid e.ts);
   if e.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" e.dur);
+  if e.id >= 0 then begin
+    Buffer.add_string buf (Printf.sprintf ",\"id\":%d" e.id);
+    (* Bind flow end to the enclosing slice, per the trace format spec. *)
+    if e.ph = 'f' then Buffer.add_string buf ",\"bp\":\"e\""
+  end;
   if e.args <> [] then begin
     Buffer.add_string buf ",\"args\":{";
     List.iteri
@@ -125,16 +204,18 @@ let event_json e =
 
 let export () =
   acquire ();
-  let evs = List.rev !events in
+  let evs = Array.init !len nth_oldest in
+  let drops = !dropped_n in
   release ();
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
-  List.iteri
+  Array.iteri
     (fun i e ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (event_json e))
     evs;
-  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.add_string buf
+    (Printf.sprintf "\n],\"droppedEvents\":%d,\"displayTimeUnit\":\"ms\"}\n" drops);
   Buffer.contents buf
 
 let write path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (export ()))

@@ -11,10 +11,19 @@
 
     {!export} renders the standard JSON object format
     [{"traceEvents": [...]}]; every event is a complete ("ph":"X"),
-    instant ("i"), counter ("C"), or metadata ("M") record. *)
+    instant ("i"), counter ("C"), metadata ("M"), or flow
+    ("s"/"t"/"f") record.
 
-val start : unit -> unit
-(** Clear the buffer, set the epoch, start recording. *)
+    {b Bounded mode.} By default the buffer grows without bound — fine
+    for diagnostic runs, fatal for a million-spec stream. [start
+    ~ring:N ()] (or {!set_ring}) caps it at the [N] {e newest} events:
+    older events are overwritten in place and counted, the count is
+    reported as a top-level ["droppedEvents"] field in {!export}, and
+    tracing a streamed batch runs in O(N) memory. *)
+
+val start : ?ring:int -> unit -> unit
+(** Clear the buffer, set the epoch, start recording. [ring] caps the
+    buffer at that many newest events; omitted means unbounded. *)
 
 val stop : unit -> unit
 (** Stop recording; the buffer is kept for {!export}. *)
@@ -22,7 +31,16 @@ val stop : unit -> unit
 val active : unit -> bool
 
 val reset : unit -> unit
-(** Drop all buffered events (does not change the active flag). *)
+(** Drop all buffered events and zero the dropped count (does not change
+    the active flag or the ring cap). *)
+
+val set_ring : int option -> unit
+(** Change the buffer bound: [Some n] keeps only the [n] newest events
+    from now on (trimming immediately, counting trimmed events as
+    dropped); [None] restores unbounded growth. *)
+
+val dropped : unit -> int
+(** Events overwritten or trimmed since the last {!reset}/{!start}. *)
 
 type arg = S of string | I of int | F of float
 (** Argument values attached to an event ([args] in the trace format). *)
@@ -43,9 +61,22 @@ val counter_sample : ?tid:int -> string -> (string * float) list -> unit
 val set_thread_name : tid:int -> string -> unit
 (** Metadata naming a track, e.g. ["domain-3"]. *)
 
+(** {1 Flow events}
+
+    Flow arrows correlate one logical item across tracks: the batch
+    pipeline emits [flow_start] when the producer supplies a spec,
+    [flow_step] inside the worker that solves it, and [flow_end] at
+    ordered emission/journal append — all sharing [id = spec index], so
+    Perfetto draws the spec's path producer → worker → journal. *)
+
+val flow_start : ?tid:int -> ?cat:string -> id:int -> string -> unit
+val flow_step : ?tid:int -> ?cat:string -> id:int -> string -> unit
+val flow_end : ?tid:int -> ?cat:string -> id:int -> string -> unit
+
 val export : unit -> string
-(** The buffered events as a Chrome trace JSON object. Valid whether or
-    not recording is still active; the buffer is not cleared. *)
+(** The buffered events as a Chrome trace JSON object (plus a
+    ["droppedEvents"] count when the ring overwrote any). Valid whether
+    or not recording is still active; the buffer is not cleared. *)
 
 val write : string -> unit
 (** [write path] saves {!export} to [path]. *)

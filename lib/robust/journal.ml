@@ -97,6 +97,22 @@ let append oc ~index ~payload =
   Out_channel.flush oc
 
 module Sharded = struct
+  (* Journal latency distributions (runtime class, PR 8): how long one
+     append takes — including any flush it triggers, so `--sync-every`
+     batching shows up as a bimodal append distribution — and how long
+     each channel flush takes on its own. *)
+  let h_append = Obs.Hist.runtime "robust.journal.append_s"
+  let h_fsync = Obs.Hist.runtime "robust.journal.fsync_s"
+
+  let timed h f =
+    if Obs.Metrics.enabled () then begin
+      let t0 = Prelude.Clock.now () in
+      let r = f () in
+      Obs.Hist.observe h (Prelude.Clock.now () -. t0);
+      r
+    end
+    else f ()
+
   (* Growable bitset over task indices; one bit per completed index. A
      million-spec journal resumes into 125 KB, not a million-entry list. *)
   module Bitset = struct
@@ -247,11 +263,12 @@ module Sharded = struct
           }
 
   let append t ~index ~payload =
+    timed h_append @@ fun () ->
     let k = index mod t.shards in
     output_entry t.outs.(k) ~index ~payload;
     t.pending.(k) <- t.pending.(k) + 1;
     if t.pending.(k) >= t.sync_every then begin
-      Out_channel.flush t.outs.(k);
+      timed h_fsync (fun () -> Out_channel.flush t.outs.(k));
       t.pending.(k) <- 0
     end
 
@@ -259,7 +276,7 @@ module Sharded = struct
     Array.iteri
       (fun k oc ->
         if t.pending.(k) > 0 then begin
-          Out_channel.flush oc;
+          timed h_fsync (fun () -> Out_channel.flush oc);
           t.pending.(k) <- 0
         end)
       t.outs

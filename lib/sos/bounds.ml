@@ -41,10 +41,24 @@ let lower_bound inst =
   | Ok lb -> lb
   | Error reason -> raise (Robust.Failure.Invalid reason)
 
+(* Deterministic ratio histogram: every makespan-vs-Equation-(1) ratio
+   computed anywhere (batch emission, the bench gate, [sosctl ratio])
+   lands here, bucketed at 0.05 resolution over [1, 3] with one overflow
+   bucket. The guarantees of Theorems 3.3/3.5 sit at 2 + 1/(m-2) and
+   below, so the range covers every compliant algorithm with slack. *)
+let h_ratio =
+  Obs.Hist.create
+    ~bounds:(Obs.Hist.linear_bounds ~lo:1.0 ~hi:3.0 ~step:0.05)
+    "sos.bounds.ratio"
+
 let theorem_3_3_bound inst ~makespan =
   let lb = lower_bound inst in
-  if lb = 0 then if makespan = 0 then 1.0 else infinity
-  else float_of_int makespan /. float_of_int lb
+  let ratio =
+    if lb = 0 then if makespan = 0 then 1.0 else infinity
+    else float_of_int makespan /. float_of_int lb
+  in
+  Obs.Hist.observe h_ratio ratio;
+  ratio
 
 let guarantee_general ~m =
   if m < 3 then invalid_arg "Bounds.guarantee_general: need m >= 3";

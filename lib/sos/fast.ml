@@ -15,6 +15,23 @@ let c_consumed = Obs.Metrics.counter "sos.fast.consumed_units"
 let c_waste = Obs.Metrics.counter "sos.fast.waste_units"
 let t_run = Obs.Metrics.timer "sos.fast.run"
 
+(* Distribution telemetry (PR 8). The two deterministic histograms record
+   per-run algorithmic values — byte-identical at any [-j] — while the
+   latency histogram is runtime class: unlike the [t_run] timer's bounded
+   sample ring, its buckets summarize every run of a million-spec stream
+   in O(1) memory. All three cost one atomic flag load when disabled. *)
+let h_iters =
+  Obs.Hist.create
+    ~bounds:(Obs.Hist.log_bounds ~lo:1.0 ~hi:1e6 ~per_decade:5)
+    "sos.fast.iterations_per_run"
+
+let h_blocks =
+  Obs.Hist.create
+    ~bounds:(Obs.Hist.log_bounds ~lo:1.0 ~hi:1e6 ~per_decade:5)
+    "sos.fast.blocks_per_run"
+
+let h_solve = Obs.Hist.runtime "sos.fast.solve_s"
+
 (* Resource accounting for one emitted RLE block ([repeat] identical
    steps): fold the allocations once, scale by the repeat count. *)
 let record_block allocs repeat =
@@ -48,6 +65,7 @@ let push_block bl allocs repeat =
 
 let run_count ?(variant = `Fixed) inst =
   Obs.Metrics.time t_run @@ fun () ->
+  let solve_t0 = if Obs.Metrics.enabled () then Prelude.Clock.now () else 0.0 in
   Obs.Metrics.incr c_runs;
   Robust.Chaos.point "sos.fast.run";
   let st = State.create inst in
@@ -126,6 +144,11 @@ let run_count ?(variant = `Fixed) inst =
         carried := survivors)
   done;
   Obs.Metrics.add c_makespan (State.now st);
+  if Obs.Metrics.enabled () then begin
+    Obs.Hist.observe_int h_iters !iters;
+    Obs.Hist.observe_int h_blocks blocks.len;
+    Obs.Hist.observe h_solve (Prelude.Clock.now () -. solve_t0)
+  end;
   (Schedule.of_blocks inst blocks.buf ~len:blocks.len, !iters)
 
 let run ?variant inst = fst (run_count ?variant inst)

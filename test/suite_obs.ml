@@ -6,6 +6,9 @@
 
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
+module Hist = Obs.Hist
+module Progress = Obs.Progress
+module Snapshot = Obs.Snapshot
 module Rng = Prelude.Rng
 
 let contains s sub =
@@ -255,8 +258,8 @@ let test_snapshot_json () =
   with_recording (fun () -> Metrics.add c 17);
   let js = Metrics.snapshot_json () in
   Alcotest.(check bool) "snapshot_json well-formed" true (json_is_valid js);
-  Alcotest.(check bool) "counter serialized" true
-    (contains js "{\"name\": \"test.obs.json\", \"value\": 17}");
+  Alcotest.(check bool) "counter serialized with its class" true
+    (contains js "{\"name\": \"test.obs.json\", \"class\": \"det\", \"value\": 17}");
   Alcotest.(check bool) "deterministic snapshot_json well-formed" true
     (json_is_valid (Metrics.snapshot_json ~cls:`Deterministic ()))
 
@@ -295,6 +298,309 @@ let test_trace_export () =
   Alcotest.(check bool) "empty export still well-formed" true (json_is_valid empty);
   Alcotest.(check int) "inactive with_span is just the call" 5
     (Trace.with_span "ignored" (fun () -> 5))
+
+(* ------------------------------------------------------------ histograms *)
+
+let test_hist_basics () =
+  let h = Hist.create "test.obs.hist.basic" in
+  Metrics.reset ();
+  Metrics.disable ();
+  Hist.observe h 1.0;
+  Alcotest.(check int) "disabled observe is a no-op" 0 (Hist.count h);
+  with_recording (fun () ->
+      Hist.observe h 0.5;
+      Hist.observe_int h 3;
+      Hist.observe h 2.0;
+      Alcotest.(check int) "count" 3 (Hist.count h);
+      Alcotest.(check (float 1e-9)) "max is exact" 3.0 (Hist.max_value h);
+      Alcotest.(check (float 1e-9)) "q=1 is the max" 3.0 (Hist.quantile h 1.0));
+  Alcotest.(check bool) "registration idempotent" true
+    (Hist.create "test.obs.hist.basic" == h);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "empty quantile is 0" 0.0 (Hist.quantile h 0.5)
+
+(* Quantile goldens on a fully known distribution: 1..100 into decade-of-10
+   linear buckets puts exactly 10 observations in each, so every quantile
+   is the bucket upper bound — except where the exact max clamps it. *)
+let test_hist_quantile_golden () =
+  let h =
+    Hist.create ~bounds:(Hist.linear_bounds ~lo:10.0 ~hi:100.0 ~step:10.0)
+      "test.obs.hist.golden"
+  in
+  Metrics.reset ();
+  with_recording (fun () ->
+      for v = 1 to 100 do
+        Hist.observe_int h v
+      done;
+      List.iter
+        (fun (q, expected) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "p%g" (q *. 100.0))
+            expected (Hist.quantile h q))
+        [ (0.5, 50.0); (0.9, 90.0); (0.99, 100.0); (1.0, 100.0) ]);
+  (* The representative never exceeds the observed max: 3 values far below
+     the first bound report the exact max, not the bound. *)
+  let tight = Hist.create ~bounds:[| 10.0 |] "test.obs.hist.clamp" in
+  with_recording (fun () ->
+      List.iter (Hist.observe tight) [ 1.0; 2.0; 2.5 ];
+      Alcotest.(check (float 1e-9)) "quantile clamped to max" 2.5
+        (Hist.quantile tight 0.5));
+  (* Above-range observations land in the overflow bucket, whose
+     representative is the exact max. *)
+  let ov = Hist.create ~bounds:[| 10.0 |] "test.obs.hist.overflow" in
+  with_recording (fun () ->
+      Hist.observe ov 1234.5;
+      Alcotest.(check (float 1e-9)) "overflow reports the max" 1234.5
+        (Hist.quantile ov 0.5);
+      Alcotest.(check int) "overflow counted" 1 (Hist.count ov))
+
+(* Merge must commute (lock-free per-domain merge order is scheduling-
+   dependent): folding the same three histograms in different orders
+   yields identical counts, max, and quantiles. *)
+let test_hist_merge () =
+  (* with_recording resets the whole registry, so every source must be
+     filled inside one recording session. *)
+  let a = Hist.create "test.obs.hmerge.a" in
+  let b = Hist.create "test.obs.hmerge.b" in
+  let c = Hist.create "test.obs.hmerge.c" in
+  Metrics.reset ();
+  with_recording (fun () ->
+      List.iter (Hist.observe a) [ 0.001; 0.002; 0.003 ];
+      List.iter (Hist.observe b) [ 5.0; 60.0 ];
+      List.iter (Hist.observe c) [ 1e9 (* overflow *) ]);
+  let s = Hist.create "test.obs.hmerge.s" in
+  let t = Hist.create "test.obs.hmerge.t" in
+  Hist.merge_into ~into:s a;
+  Hist.merge_into ~into:s b;
+  Hist.merge_into ~into:s c;
+  Hist.merge_into ~into:t c;
+  Hist.merge_into ~into:t b;
+  Hist.merge_into ~into:t a;
+  let qgrid h =
+    (Hist.count h, Hist.max_value h,
+     List.map (Hist.quantile h) [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+  in
+  Alcotest.(check bool) "merge order does not matter" true (qgrid s = qgrid t);
+  Alcotest.(check int) "merged count is the sum" 6 (Hist.count s);
+  Alcotest.(check (float 1e-9)) "merged max" 1e9 (Hist.max_value s)
+
+(* ----------------------------------------------------------- OpenMetrics *)
+
+let test_openmetrics () =
+  let c = Metrics.counter "test.obs.om.c" in
+  let t = Metrics.timer "test.obs.om.t" in
+  let h = Hist.create ~bounds:[| 1.0; 10.0 |] "test.obs.om.h" in
+  with_recording (fun () ->
+      Metrics.add c 17;
+      Metrics.observe t 0.002;
+      Metrics.observe t 0.004;
+      Hist.observe h 0.5;
+      Hist.observe h 3.0;
+      Hist.observe h 99.0);
+  let om = Metrics.to_openmetrics () in
+  Alcotest.(check bool) "counter TYPE line" true
+    (contains om "# TYPE test_obs_om_c counter");
+  Alcotest.(check bool) "counter sample with class label" true
+    (contains om "test_obs_om_c_total{class=\"det\"} 17\n");
+  Alcotest.(check bool) "timer exposed as a summary" true
+    (contains om "# TYPE test_obs_om_t summary"
+    && contains om "test_obs_om_t{class=\"runtime\",quantile=\"0.5\"}"
+    && contains om "test_obs_om_t_count{class=\"runtime\"} 2\n");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (contains om "# TYPE test_obs_om_h histogram");
+  Alcotest.(check bool) "cumulative buckets with +Inf" true
+    (contains om "test_obs_om_h_bucket{class=\"det\",le=\"1\"} 1\n"
+    && contains om "test_obs_om_h_bucket{class=\"det\",le=\"10\"} 2\n"
+    && contains om "test_obs_om_h_bucket{class=\"det\",le=\"+Inf\"} 3\n"
+    && contains om "test_obs_om_h_count{class=\"det\"} 3\n");
+  Alcotest.(check bool) "ends with # EOF" true
+    (let n = String.length om in
+     n >= 6 && String.sub om (n - 6) 6 = "# EOF\n");
+  (* Every non-comment line is `name{labels} value` with a parseable
+     value — the shape a Prometheus scraper requires. *)
+  String.split_on_char '\n' om
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then begin
+           (match line.[0] with
+           | 'a' .. 'z' | 'A' .. 'Z' | '_' -> ()
+           | c -> Alcotest.failf "bad metric name start %C in %S" c line);
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "no value separator in %S" line
+           | Some i -> (
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               match float_of_string_opt v with
+               | Some _ -> ()
+               | None -> Alcotest.failf "unparseable value %S in %S" v line)
+         end);
+  (* The deterministic exposition excludes every runtime instrument:
+     timers are runtime by construction, so no summary quantiles. *)
+  let det = Metrics.to_openmetrics ~cls:`Deterministic () in
+  Alcotest.(check bool) "det exposition has no timers" false
+    (contains det "quantile=");
+  Alcotest.(check bool) "det exposition keeps det hists" true
+    (contains det "test_obs_om_h_bucket")
+
+(* -------------------------------------------------------------- progress *)
+
+let test_progress_format () =
+  List.iter
+    (fun (expected, got) -> Alcotest.(check string) expected expected got)
+    [
+      ( "progress 250/1000 (25.0%) 125/s err=3 window=7/64 vmhwm=5616kB eta=6s",
+        Progress.format_line ~done_:250 ~total:(Some 1000) ~rate:125.4 ~errors:3
+          ~window:(Some (7, 64)) ~rss_kb:(Some 5616) ~eta_s:(Some 6.2) );
+      ( "progress 42 0/s err=0",
+        Progress.format_line ~done_:42 ~total:None ~rate:0.0 ~errors:0 ~window:None
+          ~rss_kb:None ~eta_s:None );
+      ( "progress done 1000/1000 err=2 elapsed=4.0s avg=250/s",
+        Progress.format_final ~done_:1000 ~total:(Some 1000) ~errors:2 ~elapsed_s:4.0 );
+      ( "progress done 5 err=0 elapsed=0.0s avg=0/s",
+        Progress.format_final ~done_:5 ~total:None ~errors:0 ~elapsed_s:0.0 );
+    ]
+
+let test_progress_reporter () =
+  let buf = Buffer.create 256 in
+  let p =
+    Progress.create ~interval:0.0 ~total:10 ~window_cap:64
+      ~out:(Buffer.add_string buf) ()
+  in
+  Progress.tick p ~done_:1 ~errors:0 ~occupancy:3 ();
+  Progress.tick p ~done_:2 ~errors:1 ();
+  Progress.finish p ~done_:10 ~errors:1;
+  Alcotest.(check int) "three lines emitted" 3 (Progress.beats p);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "buffer holds them" 3 (List.length lines);
+  let first = List.nth lines 0 in
+  Alcotest.(check bool) "heartbeat shape" true
+    (String.length first > 15 && String.sub first 0 15 = "progress 1/10 ("
+    && contains first "window=3/64");
+  let last = List.nth lines 2 in
+  Alcotest.(check bool) "final line shape" true
+    (String.length last > 25 && String.sub last 0 25 = "progress done 10/10 err=1");
+  (* A long interval rate-limits ticks to silence. *)
+  let q = Progress.create ~interval:3600.0 ~out:(Buffer.add_string buf) () in
+  Progress.tick q ~done_:1 ~errors:0 ();
+  Progress.tick q ~done_:2 ~errors:0 ();
+  Alcotest.(check int) "ticks inside the interval are silent" 0 (Progress.beats q)
+
+(* ----------------------------------------------------------- trace rings *)
+
+let test_trace_ring () =
+  (* Bounded from the start: 10 events through a 4-slot ring keep the 4
+     newest and count 6 drops, reported in the export. *)
+  Trace.start ~ring:4 ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "ring.%02d" i)
+  done;
+  Trace.stop ();
+  Alcotest.(check int) "drops counted" 6 (Trace.dropped ());
+  let js = Trace.export () in
+  Alcotest.(check bool) "bounded export well-formed" true (json_is_valid js);
+  Alcotest.(check bool) "newest events kept" true
+    (contains js "ring.07" && contains js "ring.08" && contains js "ring.09"
+    && contains js "ring.10");
+  Alcotest.(check bool) "oldest events gone" false
+    (contains js "ring.01" || contains js "ring.06");
+  Alcotest.(check bool) "droppedEvents reported" true
+    (contains js "\"droppedEvents\":6");
+  (* set_ring on a live unbounded buffer trims to the newest K immediately. *)
+  Trace.start ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "trim.%02d" i)
+  done;
+  Trace.set_ring (Some 3);
+  Alcotest.(check int) "trim counted as drops" 7 (Trace.dropped ());
+  let js = Trace.export () in
+  Alcotest.(check bool) "survivors are the newest 3" true
+    (contains js "trim.08" && contains js "trim.09" && contains js "trim.10"
+    && not (contains js "trim.07"));
+  (* Back to unbounded: new events append without dropping. *)
+  Trace.set_ring None;
+  Trace.instant "after.unbound";
+  Trace.stop ();
+  Alcotest.(check int) "no further drops" 7 (Trace.dropped ());
+  Alcotest.(check bool) "appended event present" true
+    (contains (Trace.export ()) "after.unbound");
+  Trace.reset ()
+
+let test_trace_flow () =
+  Trace.start ();
+  Fun.protect ~finally:(fun () -> Trace.stop ()) (fun () ->
+      Trace.flow_start ~id:9 "spec";
+      Trace.flow_step ~tid:2 ~id:9 "spec";
+      Trace.flow_end ~id:9 "spec");
+  let js = Trace.export () in
+  Alcotest.(check bool) "flow export well-formed" true (json_is_valid js);
+  Alcotest.(check bool) "start/step/end phases" true
+    (contains js "\"ph\":\"s\"" && contains js "\"ph\":\"t\""
+    && contains js "\"ph\":\"f\"");
+  Alcotest.(check bool) "shared flow id" true (contains js "\"id\":9");
+  Alcotest.(check bool) "binding point on the end event" true
+    (contains js "\"bp\":\"e\"");
+  Alcotest.(check bool) "step on the worker track" true (contains js "\"tid\":2");
+  Trace.reset ()
+
+(* The bounded-trace memory smoke (doc/ROBUSTNESS.md): 200k events through
+   a 1024-slot ring must keep the peak heap flat — the delta bound is far
+   below the ~50 MB an unbounded buffer of that size would allocate. *)
+let test_trace_ring_flat_memory () =
+  Gc.full_major ();
+  let before = (Gc.quick_stat ()).Gc.top_heap_words in
+  Trace.start ~ring:1024 ();
+  for i = 0 to 199_999 do
+    Trace.flow_start ~id:i "spec"
+  done;
+  Trace.stop ();
+  Alcotest.(check bool) "almost everything dropped" true (Trace.dropped () >= 198_000);
+  let after = (Gc.quick_stat ()).Gc.top_heap_words in
+  let delta_words = after - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak heap grew %d words (cap 2M)" delta_words)
+    true
+    (delta_words < 2_000_000);
+  Trace.reset ()
+
+(* ------------------------------------------------------ snapshot parsing *)
+
+(* The three renderings of one registry must parse back to the same
+   values — this is what makes [sosctl obs-diff] format-agnostic. *)
+let test_snapshot_parse () =
+  let c = Metrics.counter "test.obs.parse.c" in
+  let h = Hist.create "test.obs.parse.h" in
+  with_recording (fun () ->
+      Metrics.add c 17;
+      List.iter (Hist.observe h) [ 1.0; 2.0; 3.0 ]);
+  let text = Snapshot.parse (Metrics.snapshot ()) in
+  let js = Snapshot.parse (Metrics.snapshot_json ()) in
+  let om = Snapshot.parse (Metrics.to_openmetrics ()) in
+  let find what es key =
+    match List.find_opt (fun e -> e.Snapshot.key = key) es with
+    | Some e -> e
+    | None -> Alcotest.failf "%s: key %S missing" what key
+  in
+  Alcotest.(check (float 0.0)) "text counter" 17.0
+    (find "text" text "test.obs.parse.c").Snapshot.v;
+  Alcotest.(check (float 0.0)) "json counter" 17.0
+    (find "json" js "test.obs.parse.c").Snapshot.v;
+  Alcotest.(check (option string)) "json carries the class" (Some "det")
+    (find "json" js "test.obs.parse.c").Snapshot.cls;
+  Alcotest.(check (float 0.0)) "prom counter (sanitized name)" 17.0
+    (find "prom" om "test_obs_parse_c_total").Snapshot.v;
+  (* Histogram summary keys agree across text and JSON renderings. *)
+  List.iter
+    (fun k ->
+      let tk = (find "text" text ("test.obs.parse.h." ^ k)).Snapshot.v in
+      let jk = (find "json" js ("test.obs.parse.h." ^ k)).Snapshot.v in
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "hist %s text=json" k) tk jk)
+    [ "count"; "p50"; "p90"; "p99"; "max" ];
+  Alcotest.(check (float 0.0)) "hist count parsed" 3.0
+    (find "text" text "test.obs.parse.h.count").Snapshot.v;
+  Alcotest.(check (float 1e-9)) "hist max parsed exactly" 3.0
+    (find "text" text "test.obs.parse.h.max").Snapshot.v
 
 (* ------------------------------------------------- counter reconciliation *)
 
@@ -358,7 +664,12 @@ let det_snapshot_of_batch ~domains seed =
     Array.init 64 (fun i () ->
         let rng = Rng.create2 seed i in
         let inst = Workload.Sos_gen.random_instance rng ~max_n:8 ~max_m:4 ~max_size:5 () in
-        (Sos.Fast.run inst).Sos.Schedule.makespan)
+        let sched = Sos.Fast.run inst in
+        (* Rating the makespan feeds the deterministic ratio histogram, so
+           the byte-identity property below covers histogram buckets and
+           quantiles, not just counters. *)
+        ignore (Sos.Bounds.theorem_3_3_bound inst ~makespan:sched.Sos.Schedule.makespan);
+        sched.Sos.Schedule.makespan)
   in
   Array.iter
     (function
@@ -376,7 +687,10 @@ let qcheck_batch_snapshot_deterministic =
       let s1 = det_snapshot_of_batch ~domains:1 seed in
       let s2 = det_snapshot_of_batch ~domains:2 seed in
       let s4 = det_snapshot_of_batch ~domains:4 seed in
-      String.length s1 > 0 && s1 = s2 && s2 = s4)
+      String.length s1 > 0
+      && contains s1 "sos.bounds.ratio"
+      && contains s1 "sos.fast.iterations_per_run"
+      && s1 = s2 && s2 = s4)
 
 let suite =
   ( "obs",
@@ -389,6 +703,16 @@ let suite =
       Alcotest.test_case "snapshot classes" `Quick test_snapshot_classes;
       Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
       Alcotest.test_case "trace export" `Quick test_trace_export;
+      Alcotest.test_case "hist basics" `Quick test_hist_basics;
+      Alcotest.test_case "hist quantile goldens" `Quick test_hist_quantile_golden;
+      Alcotest.test_case "hist merge commutes" `Quick test_hist_merge;
+      Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
+      Alcotest.test_case "progress format goldens" `Quick test_progress_format;
+      Alcotest.test_case "progress reporter" `Quick test_progress_reporter;
+      Alcotest.test_case "trace ring bounded" `Quick test_trace_ring;
+      Alcotest.test_case "trace flow events" `Quick test_trace_flow;
+      Alcotest.test_case "trace ring flat memory" `Quick test_trace_ring_flat_memory;
+      Alcotest.test_case "snapshot parse roundtrip" `Quick test_snapshot_parse;
       Alcotest.test_case "solver counters reconcile (pinned)" `Quick
         test_reconcile_pinned;
       Alcotest.test_case "solver counters reconcile (random)" `Quick
