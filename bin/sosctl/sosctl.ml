@@ -539,13 +539,21 @@ module Summary = struct
   type t = {
     mutable ok : int;
     mutable err : int;
+    mutable timeouts : int; (* the deadline subset of err, reported separately *)
     hist : int array; (* 20 buckets [1.00,2.00) step 0.05, + the >= 2 tail *)
     fams : (string, fam) Hashtbl.t;
     errs : (string, int ref) Hashtbl.t;
   }
 
   let create () =
-    { ok = 0; err = 0; hist = Array.make 21 0; fams = Hashtbl.create 16; errs = Hashtbl.create 8 }
+    {
+      ok = 0;
+      err = 0;
+      timeouts = 0;
+      hist = Array.make 21 0;
+      fams = Hashtbl.create 16;
+      errs = Hashtbl.create 8;
+    }
 
   (* Pull "key=value" out of a result line (the same fixed format emit
      writes), so the aggregator needs no second result representation. *)
@@ -593,6 +601,7 @@ module Summary = struct
         fam.mks_sum <- fam.mks_sum +. mks
     | _ :: "error" :: cls :: _ -> (
         st.err <- st.err + 1;
+        if cls = "deadline" then st.timeouts <- st.timeouts + 1;
         match Hashtbl.find_opt st.errs cls with
         | Some r -> incr r
         | None -> Hashtbl.add st.errs cls (ref 1))
@@ -602,6 +611,7 @@ module Summary = struct
 
   let render st =
     Printf.printf "specs  %d\nok     %d\nerrors %d\n" (st.ok + st.err) st.ok st.err;
+    if st.timeouts > 0 then Printf.printf "timeouts %d\n" st.timeouts;
     if st.ok > 0 then begin
       print_string "ratio histogram (Theorem 3.3 bound):\n";
       let peak = Array.fold_left max 1 st.hist in
@@ -637,9 +647,9 @@ module Summary = struct
 end
 
 let batch_cmd =
-  let run obs file jobs seed out_dir algo retries task_timeout checkpoint resume
-      verbose_errors chaos chaos_seed stream_mode summary shards sync_every chunk win_opt
-      progress =
+  let run obs file jobs seed out_dir algo retries task_timeout backoff_base checkpoint
+      resume verbose_errors chaos chaos_seed stream_mode summary shards sync_every chunk
+      win_opt progress =
     with_obs obs @@ fun () ->
     try
       if jobs < 1 then raise (Usage "-j must be >= 1");
@@ -647,6 +657,14 @@ let batch_cmd =
       (match task_timeout with
       | Some t when t <= 0.0 -> raise (Usage "--task-timeout must be > 0")
       | _ -> ());
+      if backoff_base < 0.0 then raise (Usage "--backoff-base must be >= 0");
+      (* 0.0 disables backoff entirely (immediate retries, the pre-backoff
+         behaviour); any positive base yields capped jittered delays keyed
+         on (--seed, index, attempt), byte-identical at any -j. *)
+      let backoff =
+        if backoff_base > 0.0 then Some (Robust.Backoff.policy ~base:backoff_base ~seed ())
+        else None
+      in
       if resume && checkpoint = None then
         raise (Usage "--resume requires --checkpoint PATH");
       if shards < 1 then raise (Usage "--shards must be >= 1");
@@ -762,6 +780,18 @@ let batch_cmd =
       let prev_sigint =
         Sys.signal Sys.sigint
           (Sys.Signal_handle (fun _ -> Robust.Cancel.cancel batch_token))
+      in
+      (* SIGTERM (the service-manager stop signal) behaves exactly like
+         SIGINT — cancel, drain in-flight work, close the journal — but is
+         distinguishable in the exit code (143 vs 130) so supervisors can
+         tell "operator interrupt" from "orchestrated stop". *)
+      let term_seen = ref false in
+      let prev_sigterm =
+        Sys.signal Sys.sigterm
+          (Sys.Signal_handle
+             (fun _ ->
+               term_seen := true;
+               Robust.Cancel.cancel batch_token))
       in
       let failures = ref 0 in
       let summary_state = if summary then Some (Summary.create ()) else None in
@@ -914,7 +944,7 @@ let batch_cmd =
                 Engine.Pool.with_pool ~domains:jobs (fun pool ->
                     ignore
                       (Engine.Batch.stream_seq pool ~chunk ~window:win ~retries
-                         ?task_timeout ~cancel:batch_token producer
+                         ?task_timeout ?backoff ~cancel:batch_token producer
                          ~f:(fun idx outcome ->
                            emit ~journal
                              ~recno_of:(fun idx -> recnos.(idx mod win))
@@ -965,7 +995,7 @@ let batch_cmd =
             Engine.Pool.with_pool ~domains:jobs (fun pool ->
                 ignore
                   (Engine.Batch.stream_seq pool ~chunk ~window:(max n 1) ~retries
-                     ?task_timeout ~cancel:batch_token producer
+                     ?task_timeout ?backoff ~cancel:batch_token producer
                      ~f:(fun idx outcome ->
                        emit ~journal
                          ~recno_of:(fun idx -> records.(idx).Workload.Specs.recno)
@@ -973,6 +1003,7 @@ let batch_cmd =
                        after_emit idx))))
       end;
       Sys.set_signal Sys.sigint prev_sigint;
+      Sys.set_signal Sys.sigterm prev_sigterm;
       (match !journal_ref with
       | Some (Some j) -> Robust.Journal.Sharded.close j
       | _ -> ());
@@ -981,7 +1012,7 @@ let batch_cmd =
       (match !progress_state with
       | Some p -> Obs.Progress.finish p ~done_:!emitted ~errors:!failures
       | None -> ());
-      if Robust.Cancel.cancelled batch_token then 130
+      if Robust.Cancel.cancelled batch_token then if !term_seen then 143 else 130
       else if !failures > 0 then 1
       else 0
     with Usage msg ->
@@ -1037,6 +1068,17 @@ let batch_cmd =
           ~doc:
             "Cooperative per-spec deadline in seconds; an attempt that exceeds it \
              fails with class $(b,deadline) (and is retried if --retries allows)."
+          ~docv:"SECS")
+  in
+  let backoff_base =
+    Arg.(
+      value & opt float 0.01
+      & info [ "backoff-base" ]
+          ~doc:
+            "First-retry delay in seconds; attempt $(i,a) of spec $(i,i) sleeps a \
+             jittered, capped (1s) exponential delay derived from (--seed, \
+             $(i,i), $(i,a)) before re-running, so retried runs stay \
+             byte-identical at any -j. 0 disables backoff (immediate retries)."
           ~docv:"SECS")
   in
   let checkpoint =
@@ -1172,8 +1214,307 @@ let batch_cmd =
           corpora).")
     Term.(
       const run $ obs_flags $ file $ jobs $ seed $ out_dir $ algo $ retries
-      $ task_timeout $ checkpoint $ resume $ verbose_errors $ chaos $ chaos_seed
-      $ stream_mode $ summary $ shards $ sync_every $ chunk $ win_opt $ progress)
+      $ task_timeout $ backoff_base $ checkpoint $ resume $ verbose_errors $ chaos
+      $ chaos_seed $ stream_mode $ summary $ shards $ sync_every $ chunk $ win_opt
+      $ progress)
+
+(* ---------------------------------------------------------------- serve *)
+
+(* Unix-socket transport: connections are served one at a time on the
+   caller thread — replies across connections share one request-index
+   stream and one write-ahead log, so concurrent connections would race
+   the journal ordering. accept(2) is where stop signals land as EINTR,
+   so the accept step runs under Robust.Supervise: an interrupted accept
+   classifies as a transient failure, is retried after a deterministic
+   backoff, and every retry re-checks the drain/abort flags first. *)
+let serve_socket srv ~pool ~cancel ~should_drain ~should_abort ?backoff path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let stop () = Serve.Server.stopped srv || should_abort () || should_drain () in
+      let rec loop () =
+        if stop () then ()
+        else begin
+          let outcome =
+            Robust.Supervise.run ~restarts:4 ?backoff (fun () ->
+                if stop () then ()
+                else begin
+                  let conn, _ = Unix.accept sock in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      try Unix.close conn with Unix.Unix_error _ -> ())
+                    (fun () ->
+                      Serve.Server.serve srv ~pool
+                        ~input:(Unix.in_channel_of_descr conn)
+                        ~output:(Unix.out_channel_of_descr conn)
+                        ~cancel ~should_drain ~should_abort ())
+                end)
+          in
+          (match outcome.Robust.Supervise.result with
+          | Ok () -> ()
+          | Error f ->
+              Printf.eprintf "serve: connection failed: %s\n%!"
+                (Robust.Failure.to_string f));
+          loop ()
+        end
+      in
+      loop ())
+
+let serve_cmd =
+  let run obs jobs seed max_sessions max_jobs max_volume deadline retries backoff_base
+      checkpoint resume shards sync_every socket chaos chaos_seed =
+    with_obs obs @@ fun () ->
+    try
+      if jobs < 1 then raise (Usage "-j must be >= 1");
+      if max_sessions < 1 then raise (Usage "--max-sessions must be >= 1");
+      if max_jobs < 1 then raise (Usage "--max-jobs must be >= 1");
+      if max_volume < 1 then raise (Usage "--max-volume must be >= 1");
+      (match deadline with
+      | Some d when d <= 0.0 -> raise (Usage "--deadline must be > 0")
+      | _ -> ());
+      if retries < 0 then raise (Usage "--retries must be >= 0");
+      if backoff_base < 0.0 then raise (Usage "--backoff-base must be >= 0");
+      if resume && checkpoint = None then
+        raise (Usage "--resume requires --checkpoint PATH");
+      if shards < 1 then raise (Usage "--shards must be >= 1");
+      if sync_every < 1 then raise (Usage "--sync-every must be >= 1");
+      (match
+         (match chaos with Some s -> Some s | None -> Sys.getenv_opt "SOS_CHAOS")
+       with
+      | None -> ()
+      | Some spec ->
+          let cseed =
+            match chaos_seed with
+            | Some s -> s
+            | None -> (
+                match Sys.getenv_opt "SOS_CHAOS_SEED" with
+                | Some s -> Option.value (int_of_string_opt s) ~default:0
+                | None -> 0)
+          in
+          (match Robust.Chaos.arm ~seed:cseed spec with
+          | Ok () -> ()
+          | Error msg -> raise (Usage ("bad chaos spec: " ^ msg))));
+      let backoff =
+        if backoff_base > 0.0 then Some (Robust.Backoff.policy ~base:backoff_base ~seed ())
+        else None
+      in
+      let cfg =
+        {
+          Serve.Server.max_sessions;
+          max_jobs;
+          max_volume;
+          deadline;
+          retries;
+          backoff;
+          checkpoint;
+          resume;
+          shards;
+          sync_every;
+        }
+      in
+      match Serve.Server.create cfg with
+      | Error msg -> raise (Usage ("cannot open checkpoint: " ^ msg))
+      | Ok srv ->
+          (* First SIGTERM drains (stop admitting, finish in-flight,
+             checkpoint, exit 0); a second SIGTERM — or any SIGINT — hard
+             cancels: in-flight solves unwind as Cancelled and the loop
+             stops at the next request boundary with code 130. *)
+          let cancel = Robust.Cancel.create () in
+          let terms = ref 0 in
+          let ints = ref 0 in
+          let prev_sigterm =
+            Sys.signal Sys.sigterm
+              (Sys.Signal_handle
+                 (fun _ ->
+                   incr terms;
+                   if !terms >= 2 then Robust.Cancel.cancel cancel))
+          in
+          let prev_sigint =
+            Sys.signal Sys.sigint
+              (Sys.Signal_handle
+                 (fun _ ->
+                   incr ints;
+                   Robust.Cancel.cancel cancel))
+          in
+          let should_drain () = !terms >= 1 in
+          let should_abort () = !ints >= 1 || !terms >= 2 in
+          Engine.Pool.with_pool ~domains:jobs (fun pool ->
+              match socket with
+              | None ->
+                  Serve.Server.serve srv ~pool ~input:stdin ~output:stdout ~cancel
+                    ~should_drain ~should_abort ()
+              | Some path ->
+                  serve_socket srv ~pool ~cancel ~should_drain ~should_abort ?backoff
+                    path);
+          Sys.set_signal Sys.sigterm prev_sigterm;
+          Sys.set_signal Sys.sigint prev_sigint;
+          Robust.Chaos.disarm ();
+          let s = Serve.Server.finish srv in
+          let rss =
+            match Obs.Progress.vmhwm_kb () with
+            | Some kb -> string_of_int kb
+            | None -> "-"
+          in
+          Printf.eprintf
+            "serve: requests=%d replayed=%d overloads=%d stale=%d errors=%d \
+             sessions=%d peak-rss-kb=%s\n\
+             %!"
+            s.Serve.Server.requests s.replayed s.overloads s.stale s.errors s.sessions
+            rss;
+          s.exit_code
+    with Usage msg ->
+      prerr_endline ("sosctl serve: " ^ msg);
+      2
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "domains" ]
+          ~doc:
+            "Worker domains for placement queries. Reply bytes are identical at \
+             any value; only latency changes.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~doc:"Base PRNG seed for deterministic retry-backoff jitter.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ]
+          ~doc:
+            "Session-table bound: an $(b,open) past it is refused with an \
+             $(b,overload) reply instead of growing memory."
+          ~docv:"N")
+  in
+  let max_jobs =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-jobs" ]
+          ~doc:"Per-session job budget; a $(b,submit) past it is shed as $(b,overload)."
+          ~docv:"N")
+  in
+  let max_volume =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-volume" ]
+          ~doc:
+            "Per-session volume budget (sum of job sizes); a $(b,submit) that \
+             would exceed it is shed as $(b,overload)."
+          ~docv:"V")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ]
+          ~doc:
+            "Default per-query deadline in seconds (a request-level \
+             $(b,deadline=) overrides it). A query that exceeds its deadline \
+             degrades to the tenant's last good schedule, marked $(b,stale) — \
+             or an $(b,error deadline) reply when none exists yet."
+          ~docv:"SECS")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:"Extra solve attempts per query on transient failure."
+          ~docv:"N")
+  in
+  let backoff_base =
+    Arg.(
+      value & opt float 0.01
+      & info [ "backoff-base" ]
+          ~doc:
+            "First-retry delay in seconds (jittered, capped exponential, derived \
+             deterministically from --seed and the request index); 0 disables."
+          ~docv:"SECS")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:
+            "Write-ahead log path: every accepted request's reply is journalled \
+             (sharded over --shards, flushed per --sync-every) before it is \
+             emitted, so a killed server resumed with --resume over the same \
+             input replays a byte-identical transcript."
+          ~docv:"PATH")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reopen the --checkpoint WAL of a killed run: as the input stream is \
+             re-driven, journalled indices are answered verbatim from the log \
+             (nothing is re-solved) and their state transitions re-applied; a \
+             re-driven request that no longer matches its journalled digest is \
+             refused (exit 4).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~doc:"WAL shard count (must match on resume)." ~docv:"N")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ]
+          ~doc:"Flush each WAL shard every $(docv) appends (default 1 = every reply)."
+          ~docv:"K")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ]
+          ~doc:
+            "Listen on a unix domain socket at $(docv) instead of stdin/stdout; \
+             connections are served sequentially, sharing one request-index \
+             stream and one WAL."
+          ~docv:"PATH")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ]
+          ~doc:
+            "Arm the seeded fault injector (sites $(b,serve.request), \
+             $(b,serve.journal), $(b,sos.online.run); see doc/ROBUSTNESS.md). \
+             Defaults to $(b,\\$SOS_CHAOS) when set."
+          ~docv:"SPEC")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ]
+          ~doc:"Seed for probabilistic chaos draws (default $(b,\\$SOS_CHAOS_SEED) or 0)."
+          ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling service: a line protocol of per-tenant sessions \
+          (open/submit/query/close) with admission control and overload \
+          shedding, per-query deadlines degrading to last-good schedules, a \
+          write-ahead log for crash-safe --resume, and graceful drain on \
+          SIGTERM (see doc/SERVE.md).")
+    Term.(
+      const run $ obs_flags $ jobs $ seed $ max_sessions $ max_jobs $ max_volume
+      $ deadline $ retries $ backoff_base $ checkpoint $ resume $ shards $ sync_every
+      $ socket $ chaos $ chaos_seed)
 
 (* ------------------------------------------------------------- hardness *)
 
@@ -1407,5 +1748,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; solve_cmd; analyze_cmd; ratio_cmd; binpack_cmd; sas_cmd;
-            export_cmd; corpus_cmd; hardness_cmd; batch_cmd; obs_diff_cmd;
+            export_cmd; corpus_cmd; hardness_cmd; batch_cmd; serve_cmd; obs_diff_cmd;
           ]))

@@ -55,7 +55,7 @@ let never_ran index =
    the failure class, and a task that re-derives randomness from
    (base seed, index, Robust.Context.attempt ()) — e.g. Rng.create3 —
    reproduces the same attempt sequence at any domain count. *)
-let protect ?(retries = 0) ?task_timeout ?cancel index task =
+let protect ?(retries = 0) ?task_timeout ?cancel ?backoff index task =
   if retries < 0 then
     invalid_arg "Engine.Batch: retries < 0"
     [@sos.allow "R6: caller-side argument contract, rejected before the first attempt"];
@@ -80,6 +80,14 @@ let protect ?(retries = 0) ?task_timeout ?cancel index task =
           record_failure failure;
           if attempt < retries && Robust.Failure.transient failure then begin
             Obs.Metrics.incr c_retries;
+            (* Deterministic jittered backoff before the retry: the delay
+               is a pure function of (policy seed, index, attempt), so it
+               never perturbs output bytes — only wall time — at any -j. *)
+            (match backoff with
+            | Some policy ->
+                Robust.Backoff.sleep
+                  (Robust.Backoff.delay policy ~index ~attempt:(attempt + 1))
+            | None -> ());
             go (attempt + 1)
           end
           else Error (error_of ~index ~attempts:(attempt + 1) failure (Some bt))
@@ -87,23 +95,24 @@ let protect ?(retries = 0) ?task_timeout ?cancel index task =
   in
   go 0
 
-let map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks =
+let map_pool pool ?chunk ?retries ?task_timeout ?cancel ?backoff tasks =
   let n = Array.length tasks in
   let out = Array.init n (fun i -> Error (never_ran i)) in
   Pool.run_ordered pool ?chunk n
-    ~run:(fun i -> out.(i) <- protect ?retries ?task_timeout ?cancel i tasks.(i))
+    ~run:(fun i -> out.(i) <- protect ?retries ?task_timeout ?cancel ?backoff i tasks.(i))
     ~emit:ignore;
   out
 
-let map ?domains ?chunk ?retries ?task_timeout ?cancel tasks =
-  Pool.with_pool ?domains (fun pool -> map_pool pool ?chunk ?retries ?task_timeout ?cancel tasks)
+let map ?domains ?chunk ?retries ?task_timeout ?cancel ?backoff tasks =
+  Pool.with_pool ?domains (fun pool ->
+      map_pool pool ?chunk ?retries ?task_timeout ?cancel ?backoff tasks)
 
 (* Outcomes travel from worker to caller through a ring of [window] slots:
    task i writes slot (i mod window), emit i reads and clears it. Slot
    reuse is safe because task (i + window) is only supplied after emit i
    (the pool's in-flight bound), and the pool's completion handshake makes
    the worker's write visible to the caller. *)
-let stream_seq pool ?(chunk = 1) ?window ?retries ?task_timeout ?cancel producer ~f =
+let stream_seq pool ?(chunk = 1) ?window ?retries ?task_timeout ?cancel ?backoff producer ~f =
   let chunk = max 1 chunk in
   let window =
     match window with
@@ -119,7 +128,7 @@ let stream_seq pool ?(chunk = 1) ?window ?retries ?task_timeout ?cancel producer
           Some
             (fun () ->
               slots.(i mod window) <-
-                Some (protect ?retries ?task_timeout ?cancel i task)))
+                Some (protect ?retries ?task_timeout ?cancel ?backoff i task)))
     ~emit:(fun i ->
       match slots.(i mod window) with
       | Some r ->
@@ -130,16 +139,16 @@ let stream_seq pool ?(chunk = 1) ?window ?retries ?task_timeout ?cancel producer
              backstop for a task the pool machinery lost entirely. *)
           f i (Error (never_ran i)))
 
-let stream pool ?chunk ?retries ?task_timeout ?cancel tasks ~f =
+let stream pool ?chunk ?retries ?task_timeout ?cancel ?backoff tasks ~f =
   (* window = n keeps the materialized path's semantics: workers are never
      throttled by a slow consumer, exactly as before the streaming rebuild. *)
   let n = Array.length tasks in
   ignore
-    (stream_seq pool ?chunk ~window:(max n 1) ?retries ?task_timeout ?cancel
+    (stream_seq pool ?chunk ~window:(max n 1) ?retries ?task_timeout ?cancel ?backoff
        (fun i -> if i < n then Some tasks.(i) else None)
        ~f)
 
-let map_reduce ?domains ?chunk ?retries ?task_timeout ?cancel ~reduce ~init tasks =
+let map_reduce ?domains ?chunk ?retries ?task_timeout ?cancel ?backoff ~reduce ~init tasks =
   (* Folded on the streaming path: the accumulator is threaded through emit
      in submission order, so memory stays O(window) instead of one
      materialized outcome array — only the first error is kept. *)
@@ -147,7 +156,7 @@ let map_reduce ?domains ?chunk ?retries ?task_timeout ?cancel ~reduce ~init task
   Pool.with_pool ?domains (fun pool ->
       let acc = ref (Ok init) in
       ignore
-        (stream_seq pool ?chunk ?retries ?task_timeout ?cancel
+        (stream_seq pool ?chunk ?retries ?task_timeout ?cancel ?backoff
            (fun i -> if i < n then Some tasks.(i) else None)
            ~f:(fun _ r ->
              match (!acc, r) with

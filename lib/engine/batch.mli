@@ -19,7 +19,13 @@
       boundaries; an expired attempt fails with [Deadline_exceeded].
     - [?cancel]: a batch-wide {!Robust.Cancel} token. Once cancelled,
       running tasks unwind at their next poll and not-yet-started tasks
-      fail immediately, all with [Cancelled]; the pool stays usable. *)
+      fail immediately, all with [Cancelled]; the pool stays usable.
+    - [?backoff]: a {!Robust.Backoff.policy}. When given, a retry sleeps
+      [Backoff.delay policy ~index ~attempt] first — a capped, jittered,
+      deterministic delay keyed on [(policy seed, index, attempt)], so
+      transient-fault sites are not hammered by immediate re-runs and the
+      delay schedule (like the output bytes) is identical at any domain
+      count. Omitted = immediate retry, the pre-backoff behaviour. *)
 
 type error = {
   index : int;  (** the failing task's submission index *)
@@ -39,6 +45,7 @@ val map :
   ?retries:int ->
   ?task_timeout:float ->
   ?cancel:Robust.Cancel.t ->
+  ?backoff:Robust.Backoff.policy ->
   (unit -> 'a) array ->
   'a outcome array
 (** [map ~domains ~chunk tasks] runs every thunk on a fresh pool of
@@ -52,6 +59,7 @@ val map_pool :
   ?retries:int ->
   ?task_timeout:float ->
   ?cancel:Robust.Cancel.t ->
+  ?backoff:Robust.Backoff.policy ->
   (unit -> 'a) array ->
   'a outcome array
 (** [map] on an existing pool (reusable across batches — a failed task
@@ -63,6 +71,7 @@ val stream :
   ?retries:int ->
   ?task_timeout:float ->
   ?cancel:Robust.Cancel.t ->
+  ?backoff:Robust.Backoff.policy ->
   (unit -> 'a) array ->
   f:(int -> 'a outcome -> unit) ->
   unit
@@ -77,6 +86,7 @@ val stream_seq :
   ?retries:int ->
   ?task_timeout:float ->
   ?cancel:Robust.Cancel.t ->
+  ?backoff:Robust.Backoff.policy ->
   (int -> (unit -> 'a) option) ->
   f:(int -> 'a outcome -> unit) ->
   int
@@ -101,6 +111,7 @@ val map_reduce :
   ?retries:int ->
   ?task_timeout:float ->
   ?cancel:Robust.Cancel.t ->
+  ?backoff:Robust.Backoff.policy ->
   reduce:('acc -> 'a -> 'acc) ->
   init:'acc ->
   (unit -> 'a) array ->

@@ -1,0 +1,24 @@
+type policy = { seed : int; base : float; cap : float }
+
+let policy ?(base = 0.01) ?(cap = 1.0) ~seed () =
+  (* Clamp rather than raise: a backoff policy is timing advice, and the
+     retry machinery must never fail because of it. *)
+  let base = if Float.is_finite base && base > 1e-6 then base else 1e-6 in
+  let cap = if Float.is_finite cap && cap > base then cap else base in
+  { seed; base; cap }
+
+let delay t ~index ~attempt =
+  if attempt <= 0 then 0.0
+  else begin
+    (* d doubles per attempt, saturating at cap; 2^62 guard keeps the
+       shift defined for absurd attempt counts. *)
+    let d =
+      if attempt - 1 >= 62 then t.cap
+      else Float.min t.cap (t.base *. float_of_int (1 lsl (attempt - 1)))
+    in
+    let rng = Prelude.Rng.create3 t.seed index attempt in
+    (* Equal jitter: uniform in [d/2, d). *)
+    (d /. 2.0) +. Prelude.Rng.float rng (d /. 2.0)
+  end
+
+let sleep seconds = if seconds > 0.0 then Unix.sleepf seconds

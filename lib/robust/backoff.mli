@@ -1,0 +1,31 @@
+(** Deterministic jittered backoff between retry attempts.
+
+    Immediate retry hammers whatever made the first attempt fail — a
+    transient-fault site, a congested resource — so the batch engine and
+    the scheduling service space their retries out. The delay schedule is
+    {e seeded}, not sampled from ambient randomness: attempt [a] of task
+    [index] under a policy seeded with [seed] always sleeps the same
+    duration, derived from [Rng.create3 (seed, index, attempt)] — never
+    from domain identity or the wall clock — so a retried batch remains
+    byte-identical at any [-j] and a retry trace is reproducible from the
+    seed alone.
+
+    The schedule is capped exponential with equal jitter: attempt [a]
+    (1-based: the first retry is attempt 1) draws uniformly from
+    [[d/2, d)] where [d = min cap (base * 2^(a-1))]. *)
+
+type policy = private { seed : int; base : float; cap : float }
+
+val policy : ?base:float -> ?cap:float -> seed:int -> unit -> policy
+(** [policy ~seed ()] with [base] the first-retry delay ceiling in seconds
+    (default 0.01) and [cap] the largest delay any attempt may draw
+    (default 1.0). Out-of-range values are clamped, not rejected:
+    [base] up to [1e-6], [cap] up to [base]. *)
+
+val delay : policy -> index:int -> attempt:int -> float
+(** The deterministic sleep before retry [attempt] (>= 1) of task
+    [index], in seconds. A pure function of
+    [(policy.seed, index, attempt)]. [attempt <= 0] yields [0.]. *)
+
+val sleep : float -> unit
+(** Sleep that many wall seconds ([<= 0.] is a no-op). *)

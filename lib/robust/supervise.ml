@@ -1,0 +1,24 @@
+type 'a outcome = {
+  result : ('a, Failure.t) result;
+  attempts : int;
+}
+
+let run ?(restarts = 0) ?backoff ?(index = 0) ?(should_restart = Failure.transient)
+    ?(on_restart = fun ~attempt:_ _ -> ()) body =
+  let restarts = max 0 restarts in
+  let rec go attempt =
+    match body () with
+    | v -> { result = Ok v; attempts = attempt }
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        let failure = Failure.of_exn e bt in
+        if attempt <= restarts && should_restart failure then begin
+          on_restart ~attempt failure;
+          (match backoff with
+          | Some policy -> Backoff.sleep (Backoff.delay policy ~index ~attempt)
+          | None -> ());
+          go (attempt + 1)
+        end
+        else { result = Error failure; attempts = attempt }
+  in
+  go 1

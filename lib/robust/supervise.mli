@@ -1,0 +1,39 @@
+(** Small supervision helper: run a body, restart it on transient failure.
+
+    This is the process-level sibling of {!Engine.Batch}'s per-task retry:
+    a long-lived component (the scheduling service's per-connection
+    handler, a worker loop) is run under a restart budget, and a crash
+    that {!Failure.transient} classifies as retryable restarts the body
+    after a deterministic {!Backoff} delay instead of taking the daemon
+    down. Permanent failures (invalid input, cancellation, a crashed
+    pool) are never restarted — restarting them would loop forever on the
+    same answer.
+
+    The helper is synchronous and single-threaded: it supervises the body
+    it is given on the calling thread, nothing more. Determinism: which
+    attempts run depends only on what the body raises; the backoff delays
+    are pure functions of [(policy.seed, index, attempt)]. *)
+
+type 'a outcome = {
+  result : ('a, Failure.t) result;
+      (** the first success, or the failure that exhausted the budget /
+          was permanent *)
+  attempts : int;  (** bodies started (1 = no restart happened) *)
+}
+
+val run :
+  ?restarts:int ->
+  ?backoff:Backoff.policy ->
+  ?index:int ->
+  ?should_restart:(Failure.t -> bool) ->
+  ?on_restart:(attempt:int -> Failure.t -> unit) ->
+  (unit -> 'a) ->
+  'a outcome
+(** [run body] evaluates [body ()] and returns its value; if it raises,
+    the exception is classified ({!Failure.of_exn}) and the body is
+    restarted — up to [restarts] extra times (default 0, negatives
+    clamped), only while [should_restart] (default {!Failure.transient})
+    accepts the failure, sleeping [Backoff.delay backoff ~index ~attempt]
+    before each restart (no sleep if [backoff] is omitted). [on_restart]
+    is called just before each restart with the 1-based attempt that
+    failed. [index] (default 0) only keys the backoff jitter. *)

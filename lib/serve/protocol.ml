@@ -1,0 +1,150 @@
+type command =
+  | Open of { tenant : string; m : int; scale : int }
+  | Submit of { tenant : string; arrival : Sos.Online.arrival }
+  | Query of { tenant : string; job : int option; deadline : float option }
+  | Close of { tenant : string }
+  | Stats
+  | Drain
+  | Shutdown
+
+let default_m = 4
+let default_scale = 100
+
+let tenant_ok name =
+  let n = String.length name in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       name
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* key=value option arguments; every key at most once, unknown keys are
+   errors (a typo'd [scle=] silently ignored would be worse). *)
+let parse_kvs ~keys kvs =
+  let seen = ref [] in
+  let rec go acc = function
+    | [] -> Ok acc
+    | kv :: rest -> begin
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+        | Some i ->
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            if not (List.mem k keys) then
+              Error (Printf.sprintf "unknown option %S" k)
+            else if List.mem k !seen then
+              Error (Printf.sprintf "duplicate option %S" k)
+            else begin
+              seen := k :: !seen;
+              go ((k, v) :: acc) rest
+            end
+      end
+  in
+  go [] kvs
+
+let int_kv kvs key ~default ~min_value =
+  match List.assoc_opt key kvs with
+  | None -> Ok default
+  | Some v -> begin
+      match int_of_string_opt v with
+      | Some i when i >= min_value -> Ok i
+      | Some i -> Error (Printf.sprintf "%s=%d below minimum %d" key i min_value)
+      | None -> Error (Printf.sprintf "%s is not an integer" key)
+    end
+
+let parse line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: rest -> begin
+      let with_tenant rest k =
+        match rest with
+        | [] -> Error (verb ^ " needs a tenant")
+        | tenant :: rest ->
+            if tenant_ok tenant then k tenant rest
+            else Error (Printf.sprintf "bad tenant name %S" tenant)
+      in
+      match verb with
+      | "open" ->
+          with_tenant rest (fun tenant rest ->
+              match parse_kvs ~keys:[ "m"; "scale" ] rest with
+              | Error e -> Error e
+              | Ok kvs -> begin
+                  match
+                    ( int_kv kvs "m" ~default:default_m ~min_value:2,
+                      int_kv kvs "scale" ~default:default_scale ~min_value:1 )
+                  with
+                  | Ok m, Ok scale -> Ok (Open { tenant; m; scale })
+                  | Error e, _ | _, Error e -> Error e
+                end)
+      | "submit" ->
+          with_tenant rest (fun tenant rest ->
+              match rest with
+              | [ r; s; q ] -> begin
+                  match
+                    (int_of_string_opt r, int_of_string_opt s, int_of_string_opt q)
+                  with
+                  | Some release, Some size, Some req ->
+                      Ok (Submit { tenant; arrival = { Sos.Online.release; size; req } })
+                  | _ -> Error "submit needs three integers: release size req"
+                end
+              | _ -> Error "submit needs three integers: release size req")
+      | "query" ->
+          with_tenant rest (fun tenant rest ->
+              match parse_kvs ~keys:[ "job"; "deadline" ] rest with
+              | Error e -> Error e
+              | Ok kvs -> begin
+                  let job =
+                    match List.assoc_opt "job" kvs with
+                    | None -> Ok None
+                    | Some v -> begin
+                        match int_of_string_opt v with
+                        | Some i when i >= 0 -> Ok (Some i)
+                        | Some _ -> Error "job must be >= 0"
+                        | None -> Error "job is not an integer"
+                      end
+                  in
+                  let deadline =
+                    match List.assoc_opt "deadline" kvs with
+                    | None -> Ok None
+                    | Some v -> begin
+                        match float_of_string_opt v with
+                        | Some f when Float.is_finite f && f > 0.0 -> Ok (Some f)
+                        | Some _ -> Error "deadline must be positive"
+                        | None -> Error "deadline is not a number"
+                      end
+                  in
+                  match (job, deadline) with
+                  | Ok job, Ok deadline -> Ok (Query { tenant; job; deadline })
+                  | Error e, _ | _, Error e -> Error e
+                end)
+      | "close" ->
+          with_tenant rest (fun tenant rest ->
+              match rest with
+              | [] -> Ok (Close { tenant })
+              | _ -> Error "close takes no arguments")
+      | "stats" -> if rest = [] then Ok Stats else Error "stats takes no arguments"
+      | "drain" -> if rest = [] then Ok Drain else Error "drain takes no arguments"
+      | "shutdown" ->
+          if rest = [] then Ok Shutdown else Error "shutdown takes no arguments"
+      | _ -> Error (Printf.sprintf "unknown command %S" verb)
+    end
+
+let canonical = function
+  | Open { tenant; m; scale } -> Printf.sprintf "open %s m=%d scale=%d" tenant m scale
+  | Submit { tenant; arrival = { Sos.Online.release; size; req } } ->
+      Printf.sprintf "submit %s %d %d %d" tenant release size req
+  | Query { tenant; job; deadline = _ } -> begin
+      match job with
+      | None -> Printf.sprintf "query %s" tenant
+      | Some k -> Printf.sprintf "query %s job=%d" tenant k
+    end
+  | Close { tenant } -> Printf.sprintf "close %s" tenant
+  | Stats -> "stats"
+  | Drain -> "drain"
+  | Shutdown -> "shutdown"

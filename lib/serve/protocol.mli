@@ -1,0 +1,53 @@
+(** The [sosctl serve] line protocol (doc/SERVE.md).
+
+    One request per line, one reply line per request, in order. Requests
+    are indexed by their 0-based position in the input stream; every reply
+    starts with that index, so a client can correlate replies even when it
+    pipelines requests. The grammar:
+
+    {[
+      open <tenant> [m=<int>] [scale=<int>]
+      submit <tenant> <release> <size> <req>
+      query <tenant> [job=<int>] [deadline=<seconds>]
+      close <tenant>
+      stats
+      drain
+      shutdown
+    ]}
+
+    Tenant names are [[A-Za-z0-9_.-]+], at most 64 bytes. Unknown
+    commands, malformed integers, and bad tenant names are parse errors —
+    the server answers [<idx> error parse <reason>] and keeps going.
+
+    {!canonical} renders a parsed command in normalized form. The journal
+    stores a digest of the canonical request next to each reply, binding
+    the recovery log to the request stream: on [--resume], a replayed
+    index whose incoming request no longer matches is refused rather than
+    silently answered with another request's reply. [deadline] is
+    deliberately {e excluded} from the canonical form — it tunes how long
+    a solve may take, never what the reply says, so a resumed run may
+    tighten or drop deadlines without breaking the binding. *)
+
+type command =
+  | Open of { tenant : string; m : int; scale : int }
+  | Submit of { tenant : string; arrival : Sos.Online.arrival }
+  | Query of { tenant : string; job : int option; deadline : float option }
+  | Close of { tenant : string }
+  | Stats
+  | Drain
+  | Shutdown
+
+val default_m : int
+(** Processor count when [open] omits [m=] (4). *)
+
+val default_scale : int
+(** Resource scale when [open] omits [scale=] (100). *)
+
+val parse : string -> (command, string) result
+(** Parse one request line (leading/trailing/repeated blanks tolerated).
+    The error string is deterministic — it becomes part of the reply, and
+    replies must be byte-stable across resumes. *)
+
+val canonical : command -> string
+(** Normalized single-line rendering: defaults filled in, [deadline]
+    dropped, exactly one space between tokens. Newline-free. *)

@@ -7,14 +7,20 @@ type result = {
   makespan : int;
 }
 
+let validate_arrival i a =
+  let open Robust.Failure in
+  if a.release < 0 then
+    Error (Malformed (Printf.sprintf "job %d: negative release (got %d)" i a.release))
+  else if a.size <= 0 then Error (Nonpositive_size { job = i; size = a.size })
+  else if a.req <= 0 then Error (Nonpositive_req { job = i; req = a.req })
+  else Ok ()
+
 let to_instance ~m ~scale arrivals =
   List.iteri
     (fun i a ->
-      let open Robust.Failure in
-      if a.release < 0 then
-        raise (Invalid (Malformed (Printf.sprintf "job %d: negative release (got %d)" i a.release)));
-      if a.size <= 0 then raise (Invalid (Nonpositive_size { job = i; size = a.size }));
-      if a.req <= 0 then raise (Invalid (Nonpositive_req { job = i; req = a.req })))
+      match validate_arrival i a with
+      | Ok () -> ()
+      | Error inv -> raise (Robust.Failure.Invalid inv))
     arrivals;
   Instance.create ~m ~scale (List.map (fun a -> (a.size, a.req)) arrivals)
 
@@ -30,50 +36,96 @@ let lower_bound ~m ~scale arrivals =
   in
   max eq1 horizon
 
-let run ~m ~scale arrivals =
-  let inst = to_instance ~m ~scale arrivals in
-  let releases = release_table inst arrivals in
-  let n = Instance.n inst in
-  let s = Array.init n (fun i -> Job.s (Instance.job inst i)) in
-  let req i = (Instance.job inst i).Job.req in
-  let start_times = Array.make n (-1) in
-  (* pending: not yet admitted, in requirement (= id) order. *)
-  let pending = ref (List.init n Fun.id) in
-  let active = ref [] in
-  let steps = ref [] in
-  let t = ref 0 in
+(* ------------------------------------------------------ incremental core
+
+   The simulation state below is keyed on arrival POSITIONS (the order
+   jobs were submitted), not on instance ids. [Instance.create] sorts by
+   [Job.compare_req], which tie-breaks on the original position, so
+   instance-id order and (req, position) lexicographic order coincide:
+   every comparison the id-based simulation used to make — the pending
+   admission order, the "everyone but the largest" split — is reproduced
+   exactly by comparing (req, position). That is what lets a session keep
+   simulating as jobs arrive, without renumbering history each time the
+   sorted instance would shuffle ids, and still materialize a result that
+   is byte-identical to a from-scratch [run] on the final job set. *)
+
+type sim = {
+  mutable t : int;  (** steps simulated so far; the frontier *)
+  mutable steps_rev : Schedule.step list;  (** allocs carry positions *)
+  mutable pending : int list;  (** positions, (req, position) ascending *)
+  mutable active : int list;  (** positions *)
+  rem : int array;  (** remaining requirement units per position *)
+  start : int array;  (** first allocated step per position, -1 *)
+}
+
+let sim_empty () =
+  { t = 0; steps_rev = []; pending = []; active = []; rem = [||]; start = [||] }
+
+let grown a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+(* A scratch copy whose arrays are grown to [n] positions. Lists are
+   immutable and shared; the copy can be simulated — and abandoned on a
+   mid-solve deadline — without disturbing the committed original. *)
+let sim_scratch sim n =
+  {
+    t = sim.t;
+    steps_rev = sim.steps_rev;
+    pending = sim.pending;
+    active = sim.active;
+    rem = grown sim.rem n 0;
+    start = grown sim.start n (-1);
+  }
+
+(* Run the simulation to completion (pending and active drained). One
+   cooperative cancellation poll per step keeps mid-solve deadlines
+   responsive; the chaos site lets the fault suite kill whole solves. *)
+let simulate ~m ~scale ~releases ~reqs sim =
+  Robust.Chaos.point "sos.online.run";
+  let n = Array.length releases in
   let max_release = Array.fold_left max 0 releases in
-  let fuel = ref (max_release + Instance.total_requirement inst + n + 4) in
-  while !pending <> [] || !active <> [] do
+  let budget_rem =
+    List.fold_left
+      (fun acc p -> acc + sim.rem.(p))
+      0
+      (List.rev_append sim.pending sim.active)
+  in
+  let fuel = ref (max_release + budget_rem + n + 4) in
+  while sim.pending <> [] || sim.active <> [] do
+    Robust.Context.poll ();
     decr fuel;
     if !fuel < 0 then Robust.Failure.internal_error "Online.run: no progress";
     (* Admit released jobs, smallest requirement first, while the active
        set keeps property (b): everything except the largest member must
        fit below the full resource. *)
     let rec admit () =
-      if List.length !active < m - 1 then begin
+      if List.length sim.active < m - 1 then begin
         let released, rest =
-          List.partition (fun j -> releases.(j) <= !t) !pending
+          List.partition (fun p -> releases.(p) <= sim.t) sim.pending
         in
         match released with
         | [] -> ()
         | cand :: more_released ->
-            let members = cand :: !active in
-            let sum = List.fold_left (fun acc j -> acc + req j) 0 members in
-            let mx = List.fold_left (fun acc j -> max acc (req j)) 0 members in
+            let members = cand :: sim.active in
+            let sum = List.fold_left (fun acc p -> acc + reqs.(p)) 0 members in
+            let mx = List.fold_left (fun acc p -> max acc reqs.(p)) 0 members in
             if sum - mx < scale then begin
-              active := members;
-              pending := more_released @ rest;
+              sim.active <- members;
+              sim.pending <- more_released @ rest;
               admit ()
             end
       end
     in
     admit ();
-    (if !active = [] then
+    (if sim.active = [] then
        (* Idle: nothing released yet. *)
-       steps := { Schedule.allocs = []; repeat = 1 } :: !steps
+       sim.steps_rev <- { Schedule.allocs = []; repeat = 1 } :: sim.steps_rev
      else begin
-       let ordered = List.sort (fun a b -> compare (req a, a) (req b, b)) !active in
+       let ordered =
+         List.sort (fun a b -> compare (reqs.(a), a) (reqs.(b), b)) sim.active
+       in
        let rec split_last acc = function
          | [ last ] -> (List.rev acc, last)
          | x :: rest -> split_last (x :: acc) rest
@@ -83,37 +135,219 @@ let run ~m ~scale arrivals =
        let spent = ref 0 in
        let allocs_others =
          List.map
-           (fun j ->
-             let assigned = min (req j) s.(j) in
+           (fun p ->
+             let assigned = min reqs.(p) sim.rem.(p) in
              spent := !spent + assigned;
-             { Schedule.job = j; assigned; consumed = assigned })
+             { Schedule.job = p; assigned; consumed = assigned })
            others
        in
        let leftover = scale - !spent in
-       let big_assigned = min (min leftover (req biggest)) s.(biggest) in
+       let big_assigned = min (min leftover reqs.(biggest)) sim.rem.(biggest) in
        let allocs =
          allocs_others
          @ [ { Schedule.job = biggest; assigned = big_assigned; consumed = big_assigned } ]
        in
        List.iter
          (fun (a : Schedule.alloc) ->
-           if start_times.(a.job) < 0 then start_times.(a.job) <- !t;
-           s.(a.job) <- s.(a.job) - a.consumed)
+           if sim.start.(a.job) < 0 then sim.start.(a.job) <- sim.t;
+           sim.rem.(a.job) <- sim.rem.(a.job) - a.consumed)
          allocs;
-       steps := { Schedule.allocs; repeat = 1 } :: !steps;
-       active := List.filter (fun j -> s.(j) > 0) !active
+       sim.steps_rev <- { Schedule.allocs; repeat = 1 } :: sim.steps_rev;
+       sim.active <- List.filter (fun p -> sim.rem.(p) > 0) sim.active
      end);
-    incr t
-  done;
-  (* Trim trailing idle steps (none expected, but keep the invariant that
-     makespan = last step with work). *)
+    sim.t <- sim.t + 1
+  done
+
+(* Map a completed position-keyed simulation onto the offline instance:
+   positions become instance ids, trailing idle steps are trimmed (none
+   expected; keeps the invariant that makespan = last step with work). *)
+let materialize ~m ~scale arrivals sim =
+  let inst = to_instance ~m ~scale arrivals in
+  let n = Instance.n inst in
+  let id_of_pos = Array.make n 0 in
+  Array.iteri (fun id pos -> id_of_pos.(pos) <- id) inst.Instance.original;
   let rec trim = function
     | { Schedule.allocs = []; _ } :: rest -> trim rest
     | steps -> steps
   in
-  let steps = List.rev (trim !steps) in
+  let steps =
+    List.rev_map
+      (fun (step : Schedule.step) ->
+        {
+          step with
+          Schedule.allocs =
+            List.map
+              (fun (a : Schedule.alloc) -> { a with Schedule.job = id_of_pos.(a.job) })
+              step.Schedule.allocs;
+        })
+      (trim sim.steps_rev)
+  in
+  let start_times =
+    Array.init n (fun id -> sim.start.(inst.Instance.original.(id)))
+  in
   let schedule = Schedule.make inst steps in
   { instance = inst; schedule; start_times; makespan = schedule.Schedule.makespan }
+
+module Session = struct
+  type reject =
+    | Bad_arrival of Robust.Failure.invalid
+    | Jobs_budget of { cap : int }
+    | Volume_budget of { cap : int; volume : int }
+
+  let reject_message = function
+    | Bad_arrival inv -> Robust.Failure.message (Robust.Failure.Invalid_instance inv)
+    | Jobs_budget { cap } -> Printf.sprintf "job budget exhausted (cap %d)" cap
+    | Volume_budget { cap; volume } ->
+        Printf.sprintf "volume budget exhausted (cap %d, held %d)" cap volume
+
+  type stats = { full_solves : int; extended_solves : int; cached_hits : int }
+
+  type t = {
+    m : int;
+    scale : int;
+    max_jobs : int option;
+    max_volume : int option;
+    mutable arrivals_rev : arrival list;
+    mutable count : int;
+    mutable volume : int;
+    (* committed: a completed simulation over the first [committed_n]
+       positions, plus its materialized result. Solving never mutates it
+       in place — a scratch copy is simulated and swapped in only on
+       completion, so a deadline that unwinds mid-solve leaves the last
+       good state (and [peek]'s answer) intact. *)
+    mutable committed : sim;
+    mutable committed_n : int;
+    mutable last_good : result option;
+    mutable full_solves : int;
+    mutable extended_solves : int;
+    mutable cached_hits : int;
+  }
+
+  let create ?max_jobs ?max_volume ~m ~scale () =
+    {
+      m;
+      scale;
+      max_jobs;
+      max_volume;
+      arrivals_rev = [];
+      count = 0;
+      volume = 0;
+      committed = sim_empty ();
+      committed_n = 0;
+      last_good = None;
+      full_solves = 0;
+      extended_solves = 0;
+      cached_hits = 0;
+    }
+
+  let m t = t.m
+  let scale t = t.scale
+  let jobs t = t.count
+  let volume t = t.volume
+  let dirty t = t.count > t.committed_n || t.last_good = None
+  let arrivals t = List.rev t.arrivals_rev
+  let peek t = t.last_good
+
+  let stats t =
+    {
+      full_solves = t.full_solves;
+      extended_solves = t.extended_solves;
+      cached_hits = t.cached_hits;
+    }
+
+  let add t a =
+    match validate_arrival t.count a with
+    | Error inv -> Error (Bad_arrival inv)
+    | Ok () -> begin
+        match t.max_jobs with
+        | Some cap when t.count >= cap -> Error (Jobs_budget { cap })
+        | _ ->
+            let cap_v =
+              match t.max_volume with Some cap -> cap | None -> max_int
+            in
+            if a.size > cap_v - t.volume then
+              Error (Volume_budget { cap = cap_v; volume = t.volume })
+            else begin
+              let pos = t.count in
+              t.arrivals_rev <- a :: t.arrivals_rev;
+              t.count <- t.count + 1;
+              t.volume <- t.volume + a.size;
+              Ok pos
+            end
+      end
+
+  (* New positions can extend the committed simulation iff none of them
+     is released before the committed frontier. The committed frontier is
+     the completion time of the old job set, so at every earlier step the
+     new jobs are unreleased and change nothing; from the frontier on the
+     old simulation had drained, and resuming its loop with the new
+     pending set replays exactly what a from-scratch run would do (idle
+     until the first new release, then admit). Otherwise a new job could
+     have joined a past admission decision and we must re-solve from 0. *)
+  let solve t =
+    let arrivals = List.rev t.arrivals_rev in
+    match t.last_good with
+    | Some r when t.committed_n = t.count ->
+        t.cached_hits <- t.cached_hits + 1;
+        r
+    | _ ->
+        let n = t.count in
+        let releases = Array.make n 0 in
+        let reqs = Array.make n 0 in
+        let sizes = Array.make n 0 in
+        List.iteri
+          (fun p a ->
+            releases.(p) <- a.release;
+            reqs.(p) <- a.req;
+            sizes.(p) <- a.size)
+          arrivals;
+        let by_req p q = compare (reqs.(p), p) (reqs.(q), q) in
+        let fresh = List.init (n - t.committed_n) (fun i -> t.committed_n + i) in
+        let extendable =
+          t.committed_n > 0
+          && List.for_all (fun p -> releases.(p) >= t.committed.t) fresh
+        in
+        let sim =
+          if extendable then begin
+            let sim = sim_scratch t.committed n in
+            List.iter (fun p -> sim.rem.(p) <- sizes.(p) * reqs.(p)) fresh;
+            sim.pending <- List.sort by_req (List.rev_append sim.pending fresh);
+            sim
+          end
+          else begin
+            let sim = sim_scratch (sim_empty ()) n in
+            for p = 0 to n - 1 do
+              sim.rem.(p) <- sizes.(p) * reqs.(p)
+            done;
+            sim.pending <- List.sort by_req (List.init n Fun.id);
+            sim
+          end
+        in
+        simulate ~m:t.m ~scale:t.scale ~releases ~reqs sim;
+        let r = materialize ~m:t.m ~scale:t.scale arrivals sim in
+        (* Commit only now: everything above may unwind on a deadline. *)
+        if extendable then t.extended_solves <- t.extended_solves + 1
+        else t.full_solves <- t.full_solves + 1;
+        t.committed <- sim;
+        t.committed_n <- n;
+        t.last_good <- Some r;
+        r
+end
+
+let run ~m ~scale arrivals =
+  let session = Session.create ~m ~scale () in
+  List.iter
+    (fun a ->
+      match Session.add session a with
+      | Ok _ -> ()
+      | Error (Session.Bad_arrival inv) -> raise (Robust.Failure.Invalid inv)
+      | Error r ->
+          (* Unreachable: the session has no budgets; kept total for R6. *)
+          raise
+            (Robust.Failure.Invalid
+               (Robust.Failure.Malformed (Session.reject_message r))))
+    arrivals;
+  Session.solve session
 
 let respects_releases result arrivals =
   let releases = release_table result.instance arrivals in

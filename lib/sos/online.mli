@@ -11,7 +11,17 @@
     largest member stays below the full resource (the window algorithm's
     properties (b)/(e) in spirit). Assignment mirrors Listing 1: everyone
     except the largest active job gets its full requirement, the largest
-    the leftover. *)
+    the leftover.
+
+    Two entry points share one engine. {!run} is the one-shot form.
+    {!Session} is the incremental form behind [sosctl serve]: jobs are
+    submitted one at a time under optional job-count and volume budgets,
+    and each [solve] reuses the committed simulation when it can —
+    answering from cache when nothing changed, extending the finished
+    simulation when every new job is released at or after its frontier,
+    and only re-simulating from scratch when a new arrival rewrites
+    history. All three paths produce results byte-identical to {!run} on
+    the materialized job set (tested property). *)
 
 type arrival = { release : int; size : int; req : int }
 (** [release ≥ 0] in time steps; [size], [req] as in {!Instance}. *)
@@ -22,6 +32,66 @@ type result = {
   start_times : int array;  (** 0-based first step of each job *)
   makespan : int;
 }
+
+(** Incremental sessions: one tenant's arrival stream, solved on demand. *)
+module Session : sig
+  type t
+
+  type reject =
+    | Bad_arrival of Robust.Failure.invalid
+        (** malformed job: negative release, non-positive size or req *)
+    | Jobs_budget of { cap : int }  (** session already holds [cap] jobs *)
+    | Volume_budget of { cap : int; volume : int }
+        (** admitting the job would push total size past [cap] *)
+
+  val reject_message : reject -> string
+  (** One-line human-readable form, stable for protocol error lines. *)
+
+  val create :
+    ?max_jobs:int -> ?max_volume:int -> m:int -> scale:int -> unit -> t
+  (** A fresh empty session. Budgets are enforced by {!add}; omitted means
+      unlimited. [m]/[scale] are validated when the first result is
+      materialized, exactly as {!run} validates them. *)
+
+  val add : t -> arrival -> (int, reject) Stdlib.result
+  (** Admit one job; [Ok position] is its 0-based submission index.
+      Rejected jobs leave the session unchanged. Never raises. *)
+
+  val solve : t -> result
+  (** The schedule for everything admitted so far — equal to
+      [run ~m ~scale (arrivals t)]. May raise {!Robust.Failure.Deadline}
+      (via the ambient {!Robust.Context.poll}) or a chaos-injected fault
+      from the [sos.online.run] site; either way the session keeps its
+      last committed state, so a later [solve] retries and {!peek} still
+      answers. *)
+
+  val peek : t -> result option
+  (** The last successfully committed result, without solving. [None]
+      until the first completed [solve]. The serve layer's stale answer:
+      when a fresh solve misses its deadline this is what degrades to. *)
+
+  val dirty : t -> bool
+  (** [true] when {!peek}'s answer (or its absence) is stale — jobs were
+      admitted after the last committed solve. *)
+
+  val m : t -> int
+  val scale : t -> int
+
+  val jobs : t -> int
+  (** Jobs admitted. *)
+
+  val volume : t -> int
+  (** [Σ size] over admitted jobs. *)
+
+  val arrivals : t -> arrival list
+  (** In submission order. *)
+
+  type stats = { full_solves : int; extended_solves : int; cached_hits : int }
+
+  val stats : t -> stats
+  (** How the solves so far were answered: re-simulated from scratch,
+      extended from the committed frontier, or served from cache. *)
+end
 
 val run : m:int -> scale:int -> arrival list -> result
 (** Raises [Invalid_argument] on a negative release or malformed job. *)

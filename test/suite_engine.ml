@@ -293,6 +293,27 @@ let test_rng_create2 () =
     done
   done
 
+(* Backoff delays retries but never changes bytes: a flaky batch run with
+   backoff enabled returns exactly the clean results at every domain
+   count (the delay is a pure function of (seed, index, attempt), and
+   ordered emission does not depend on when a retry lands). *)
+let test_backoff_byte_identity () =
+  let n = 16 in
+  let tasks =
+    Array.init n (fun i () ->
+        if i mod 4 = 2 && Robust.Context.attempt () = 0 then failwith "flaky";
+        i + 100)
+  in
+  let clean = Array.init n (fun i -> Ok (i + 100)) in
+  let backoff = Robust.Backoff.policy ~base:1e-5 ~seed:9 () in
+  List.iter
+    (fun domains ->
+      let got = Batch.map ~domains ~retries:1 ~backoff tasks in
+      Alcotest.(check bool)
+        (Printf.sprintf "backoff run equals clean run at %d domains" domains)
+        true (got = clean))
+    [ 1; 2; 4 ]
+
 let suite =
   ( "engine",
     [
@@ -305,6 +326,8 @@ let suite =
       Alcotest.test_case "stream_seq full-chunk pulls in steady state" `Quick
         test_stream_seq_full_chunks;
       Alcotest.test_case "stream_seq bounded memory (100k specs)" `Quick test_stream_seq_bounded_memory;
+      Alcotest.test_case "backoff retries stay byte-identical" `Quick
+        test_backoff_byte_identity;
       Alcotest.test_case "pool basics" `Quick test_pool_basics;
       Alcotest.test_case "clock time_it/best_of" `Quick test_clock;
       Alcotest.test_case "rng create2" `Quick test_rng_create2;

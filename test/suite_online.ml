@@ -76,6 +76,137 @@ let test_online_empty () =
   let r = Online.run ~m:4 ~scale:10 [] in
   Alcotest.(check int) "empty makespan" 0 r.Online.makespan
 
+(* --- incremental sessions --- *)
+
+let check_same_result ~ctx (incr : Online.result) (scratch : Online.result) =
+  Alcotest.(check string)
+    (ctx ^ ": instance")
+    (Instance.to_string scratch.Online.instance)
+    (Instance.to_string incr.Online.instance);
+  Alcotest.(check int) (ctx ^ ": makespan") scratch.Online.makespan incr.Online.makespan;
+  Alcotest.(check (array int))
+    (ctx ^ ": start times")
+    scratch.Online.start_times incr.Online.start_times;
+  if incr.Online.schedule.Schedule.steps <> scratch.Online.schedule.Schedule.steps
+  then Alcotest.failf "%s: step lists differ" ctx
+
+let test_session_matches_scratch () =
+  (* The qcheck-style core property: drive a session arrival by arrival,
+     solving at random prefixes, and every answer must be byte-identical
+     to a from-scratch [Online.run] on the same prefix — whichever of the
+     cached / extended / full paths the session picked. *)
+  for seed = 1 to 120 do
+    let rng = Rng.create (seed * 271) in
+    let m = Rng.int_in rng 2 8 in
+    let arrivals =
+      (* Mix of history-rewriting early releases and frontier-extending
+         late ones, so all three solve paths occur across the loop. *)
+      List.init (Rng.int_in rng 1 20) (fun i ->
+          let release =
+            if Rng.int_in rng 0 3 = 0 then Rng.int_in rng 0 5
+            else Rng.int_in rng 0 (8 * (i + 1))
+          in
+          { Online.release; size = Rng.int_in rng 1 5; req = Rng.int_in rng 1 120 })
+    in
+    let session = Online.Session.create ~m ~scale:100 () in
+    List.iteri
+      (fun i a ->
+        (match Online.Session.add session a with
+        | Ok pos -> Alcotest.(check int) "position" i pos
+        | Error r ->
+            Alcotest.failf "seed %d: unexpected reject: %s" seed
+              (Online.Session.reject_message r));
+        if Rng.int_in rng 0 2 = 0 then begin
+          let prefix = Online.Session.arrivals session in
+          check_same_result
+            ~ctx:(Printf.sprintf "seed %d prefix %d" seed (i + 1))
+            (Online.Session.solve session)
+            (Online.run ~m ~scale:100 prefix)
+        end)
+      arrivals;
+    check_same_result
+      ~ctx:(Printf.sprintf "seed %d final" seed)
+      (Online.Session.solve session)
+      (Online.run ~m ~scale:100 arrivals)
+  done
+
+let test_session_solve_paths () =
+  (* Strictly increasing releases beyond each frontier: after the first
+     solve, later solves must take the extend path; repeated solves with
+     no new jobs must answer from cache. *)
+  let session = Online.Session.create ~m:4 ~scale:100 () in
+  let add release =
+    match
+      Online.Session.add session { Online.release; size = 2; req = 50 }
+    with
+    | Ok _ -> ()
+    | Error r -> Alcotest.failf "reject: %s" (Online.Session.reject_message r)
+  in
+  add 0;
+  ignore (Online.Session.solve session);
+  let frontier = (Online.Session.solve session).Online.makespan in
+  add (frontier + 5);
+  ignore (Online.Session.solve session);
+  ignore (Online.Session.solve session);
+  add 0;
+  (* rewrites history: must fall back to a full re-solve *)
+  ignore (Online.Session.solve session);
+  let stats = Online.Session.stats session in
+  Alcotest.(check int) "full solves" 2 stats.Online.Session.full_solves;
+  Alcotest.(check int) "extended solves" 1 stats.Online.Session.extended_solves;
+  Alcotest.(check int) "cached hits" 2 stats.Online.Session.cached_hits;
+  check_same_result ~ctx:"paths final" (Online.Session.solve session)
+    (Online.run ~m:4 ~scale:100 (Online.Session.arrivals session))
+
+let test_session_budgets () =
+  let session =
+    Online.Session.create ~max_jobs:2 ~max_volume:5 ~m:4 ~scale:100 ()
+  in
+  let arrival size = { Online.release = 0; size; req = 10 } in
+  (match Online.Session.add session (arrival 3) with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "first add should land at position 0");
+  (match Online.Session.add session (arrival 3) with
+  | Error (Online.Session.Volume_budget { cap = 5; volume = 3 }) -> ()
+  | Ok _ -> Alcotest.fail "volume budget not enforced"
+  | Error r -> Alcotest.failf "wrong reject: %s" (Online.Session.reject_message r));
+  (match Online.Session.add session (arrival 2) with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "fitting job rejected");
+  (match Online.Session.add session (arrival 1) with
+  | Error (Online.Session.Jobs_budget { cap = 2 }) -> ()
+  | Ok _ -> Alcotest.fail "job budget not enforced"
+  | Error r -> Alcotest.failf "wrong reject: %s" (Online.Session.reject_message r));
+  (match Online.Session.add session { Online.release = -1; size = 1; req = 1 } with
+  | Error (Online.Session.Bad_arrival _) -> ()
+  | _ -> Alcotest.fail "negative release admitted");
+  (* Rejections left the session untouched: still solvable, two jobs. *)
+  Alcotest.(check int) "jobs" 2 (Online.Session.jobs session);
+  Alcotest.(check int) "volume" 5 (Online.Session.volume session);
+  check_same_result ~ctx:"budget final" (Online.Session.solve session)
+    (Online.run ~m:4 ~scale:100 (Online.Session.arrivals session))
+
+let test_session_peek_and_dirty () =
+  let session = Online.Session.create ~m:4 ~scale:100 () in
+  Alcotest.(check bool) "fresh session is dirty" true (Online.Session.dirty session);
+  Alcotest.(check bool) "no peek yet" true (Online.Session.peek session = None);
+  (match Online.Session.add session { Online.release = 0; size = 2; req = 50 } with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "reject: %s" (Online.Session.reject_message r));
+  let r = Online.Session.solve session in
+  Alcotest.(check bool) "clean after solve" false (Online.Session.dirty session);
+  (match Online.Session.peek session with
+  | Some p -> Alcotest.(check int) "peek = last solve" r.Online.makespan p.Online.makespan
+  | None -> Alcotest.fail "peek empty after solve");
+  (match Online.Session.add session { Online.release = 0; size = 2; req = 50 } with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "reject: %s" (Online.Session.reject_message r));
+  Alcotest.(check bool) "dirty after add" true (Online.Session.dirty session);
+  (* peek still answers with the stale committed schedule *)
+  (match Online.Session.peek session with
+  | Some p -> Alcotest.(check int) "stale peek" r.Online.makespan p.Online.makespan
+  | None -> Alcotest.fail "peek lost on add")
+
 (* --- SVG --- *)
 
 let test_svg_well_formed () =
@@ -115,6 +246,11 @@ let suite =
       Alcotest.test_case "idle then burst" `Quick test_online_idle_then_burst;
       Alcotest.test_case "ratio reasonable" `Quick test_online_ratio_reasonable;
       Alcotest.test_case "empty" `Quick test_online_empty;
+      Alcotest.test_case "session matches from-scratch" `Quick
+        test_session_matches_scratch;
+      Alcotest.test_case "session solve paths" `Quick test_session_solve_paths;
+      Alcotest.test_case "session budgets" `Quick test_session_budgets;
+      Alcotest.test_case "session peek & dirty" `Quick test_session_peek_and_dirty;
       Alcotest.test_case "svg well-formed" `Quick test_svg_well_formed;
       Alcotest.test_case "svg to file" `Quick test_svg_to_file;
     ] )

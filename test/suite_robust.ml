@@ -588,6 +588,80 @@ let test_pool_down_after_shutdown () =
   | [| Error e |] when class_name_of e = "pool-crashed" -> ()
   | _ -> Alcotest.fail "submit after shutdown not surfaced as pool-crashed"
 
+(* --- deterministic backoff + supervision --- *)
+
+let test_backoff_policy () =
+  let open Robust.Backoff in
+  let p = policy ~base:0.01 ~cap:1.0 ~seed:7 () in
+  Alcotest.(check bool)
+    "deterministic" true
+    (delay p ~index:3 ~attempt:2 = delay p ~index:3 ~attempt:2);
+  (* equal jitter: attempt a draws from [d/2, d) with d = min cap (base*2^(a-1)) *)
+  for attempt = 1 to 8 do
+    let ideal = Float.min 1.0 (0.01 *. (2.0 ** float_of_int (attempt - 1))) in
+    let d = delay p ~index:0 ~attempt in
+    if not (d >= ideal /. 2.0 && d < ideal) then
+      Alcotest.failf "attempt %d: delay %g outside [%g, %g)" attempt d (ideal /. 2.0)
+        ideal
+  done;
+  (* the cap holds even for attempt counts that would overflow 2^(a-1) *)
+  let d = delay p ~index:0 ~attempt:200 in
+  Alcotest.(check bool) "capped at huge attempts" true (d >= 0.5 && d < 1.0);
+  Alcotest.(check bool) "attempt 0 is free" true (delay p ~index:0 ~attempt:0 = 0.0);
+  (* per-index jitter decorrelates retry storms *)
+  Alcotest.(check bool)
+    "indices decorrelated" true
+    (List.exists
+       (fun i -> delay p ~index:i ~attempt:3 <> delay p ~index:0 ~attempt:3)
+       [ 1; 2; 3; 4; 5 ]);
+  (* out-of-range parameters clamp instead of raising (R6: no failwith) *)
+  let q = policy ~base:(-1.0) ~cap:0.0 ~seed:0 () in
+  let d = delay q ~index:0 ~attempt:1 in
+  Alcotest.(check bool) "clamped policy stays finite" true (d >= 0.0 && d < 1e-5)
+
+let test_supervise_restarts () =
+  let backoff = Robust.Backoff.policy ~base:1e-6 ~seed:1 () in
+  (* transient crashes restart up to the budget, then succeed *)
+  let calls = ref 0 in
+  let out =
+    Robust.Supervise.run ~restarts:5 ~backoff (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky";
+        !calls * 10)
+  in
+  (match out.Robust.Supervise.result with
+  | Ok v -> Alcotest.(check int) "value" 30 v
+  | Error f -> Alcotest.failf "expected success, got %s" (F.to_string f));
+  Alcotest.(check int) "attempts" 3 out.Robust.Supervise.attempts;
+  (* budget exhaustion reports the classified failure and every attempt *)
+  let out = Robust.Supervise.run ~restarts:1 (fun () -> failwith "always") in
+  (match out.Robust.Supervise.result with
+  | Error f -> Alcotest.(check string) "class" "task-exn" (F.class_name f)
+  | Ok _ -> Alcotest.fail "expected failure");
+  Alcotest.(check int) "attempts recorded" 2 out.Robust.Supervise.attempts;
+  (* permanent failures never restart *)
+  let calls = ref 0 in
+  let out =
+    Robust.Supervise.run ~restarts:5 (fun () ->
+        incr calls;
+        raise (F.Invalid (F.Malformed "bad")))
+  in
+  (match out.Robust.Supervise.result with
+  | Error f -> Alcotest.(check string) "class" "invalid-instance" (F.class_name f)
+  | Ok _ -> Alcotest.fail "expected invalid");
+  Alcotest.(check int) "no restart on invalid" 1 !calls;
+  (* on_restart sees each failed attempt, in order *)
+  let seen = ref [] in
+  let calls = ref 0 in
+  ignore
+    (Robust.Supervise.run ~restarts:2
+       ~on_restart:(fun ~attempt _ -> seen := attempt :: !seen)
+       (fun () ->
+         incr calls;
+         if !calls < 3 then failwith "flaky"))
+  ;
+  Alcotest.(check (list int)) "restart callbacks" [ 1; 2 ] (List.rev !seen)
+
 let suite =
   ( "robust",
     [
@@ -604,6 +678,10 @@ let suite =
       Alcotest.test_case "sharded journal torn-tail compaction" `Quick test_sharded_torn_tails;
       Alcotest.test_case "sharded journal out-of-order replay" `Quick
         test_sharded_out_of_order_replay;
+      Alcotest.test_case "backoff policy: jitter band, cap, determinism" `Quick
+        test_backoff_policy;
+      Alcotest.test_case "supervise restarts transient failures" `Quick
+        test_supervise_restarts;
       Alcotest.test_case "retry recovers deterministically" `Quick test_retry_recovers;
       Alcotest.test_case "invalid input never retried" `Quick test_invalid_never_retried;
       Alcotest.test_case "per-task deadline" `Quick test_task_deadline;

@@ -1,0 +1,340 @@
+(* The scheduling service: protocol parse/canonical laws, per-tenant
+   sessions with admission control driven end-to-end over real channel
+   pairs, deadline degradation to last-good schedules, write-ahead-log
+   resume byte-identity (including tamper detection), and graceful
+   drain. Replies are checked byte-for-byte — the transcript IS the
+   service's contract. *)
+
+module P = Serve.Protocol
+module S = Serve.Server
+
+let check_lines name expected got =
+  Alcotest.(check (list string)) name expected got
+
+(* Drive one [S.serve] call over temp-file channel pairs and return the
+   reply lines. The server object survives the call, so a test can
+   inspect counters or drive it again (the socket transport does). *)
+let run_lines ?should_drain ?should_abort srv lines =
+  let inp = Filename.temp_file "serve" ".in" in
+  let outp = Filename.temp_file "serve" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove inp with Sys_error _ -> ());
+      try Sys.remove outp with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text inp (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+      Engine.Pool.with_pool ~domains:2 (fun pool ->
+          In_channel.with_open_text inp (fun input ->
+              Out_channel.with_open_text outp (fun output ->
+                  S.serve srv ~pool ~input ~output ?should_drain ?should_abort ())));
+      let text = In_channel.with_open_text outp In_channel.input_all in
+      String.split_on_char '\n' text |> List.filter (fun l -> l <> ""))
+
+let with_server ?(cfg = S.default) f =
+  match S.create cfg with
+  | Error msg -> Alcotest.failf "Server.create: %s" msg
+  | Ok srv -> f srv
+
+let drive ?cfg ?should_drain ?should_abort lines =
+  with_server ?cfg (fun srv ->
+      let replies = run_lines ?should_drain ?should_abort srv lines in
+      (replies, S.finish srv))
+
+(* --- protocol --- *)
+
+let test_protocol_parse () =
+  let ok line = match P.parse line with Ok c -> c | Error e -> Alcotest.failf "parse %S: %s" line e in
+  let err line =
+    match P.parse line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S should have failed" line
+  in
+  (* defaults fill in, repeated blanks are tolerated, canonical is normalized *)
+  Alcotest.(check string) "open defaults" "open a m=4 scale=100" (P.canonical (ok "  open   a "));
+  Alcotest.(check string) "open kvs" "open a m=3 scale=7" (P.canonical (ok "open a scale=7 m=3"));
+  Alcotest.(check string) "submit" "submit t-1 5 2 30" (P.canonical (ok "submit t-1 5 2 30"));
+  (* deadline is excluded from the canonical form: it tunes solve time,
+     never reply bytes, so a resumed run may change it freely *)
+  Alcotest.(check string)
+    "deadline dropped" "query a job=2"
+    (P.canonical (ok "query a job=2 deadline=0.5"));
+  Alcotest.(check string) "query bare" "query a" (P.canonical (ok "query a deadline=1"));
+  List.iter err
+    [
+      ""; "open"; "open bad name!"; "open a m=1"; "open a m=x"; "open a m=2 m=3";
+      "open a scle=5"; (String.concat "" [ "open "; String.make 65 'x' ]);
+      "submit a 1 2"; "submit a 1 2 x"; "query a job=-1"; "query a deadline=0";
+      "query a deadline=nope"; "close a extra"; "stats now"; "frobnicate a";
+    ]
+
+(* --- end-to-end session flow --- *)
+
+let test_serve_session_flow () =
+  let replies, s =
+    drive
+      [
+        "open t m=2 scale=100";
+        "submit t 0 2 50";
+        "submit t 0 3 60";
+        "query t";
+        "query t job=1";
+        "query t";
+        "close t";
+        "stats";
+        "nonsense";
+        "query ghost";
+        "open t2";
+        "open t2";
+      ]
+  in
+  check_lines "session flow transcript"
+    [
+      "0 ok open tenant=t m=2 scale=100";
+      "1 ok submit tenant=t job=0";
+      "2 ok submit tenant=t job=1";
+      "3 ok schedule tenant=t jobs=2 makespan=5 lb=3";
+      "4 ok job tenant=t job=1 start=2";
+      "5 ok schedule tenant=t jobs=2 makespan=5 lb=3";
+      "6 ok close tenant=t jobs=2";
+      "7 ok stats sessions=0 jobs=0 volume=0 draining=0";
+      "8 error parse unknown command \"nonsense\"";
+      "9 error no-session tenant ghost";
+      "10 ok open tenant=t2 m=4 scale=100";
+      "11 error exists tenant t2 already open";
+    ]
+    replies;
+  Alcotest.(check int) "requests" 12 s.S.requests;
+  Alcotest.(check int) "errors" 3 s.S.errors;
+  Alcotest.(check int) "open sessions" 1 s.S.sessions;
+  Alcotest.(check int) "exit code" 0 s.S.exit_code
+
+let test_serve_invalid_submit () =
+  let replies, s = drive [ "open t"; "submit t -1 2 50"; "submit t 0 2 50"; "query t" ] in
+  (match replies with
+  | [ _; bad; ok_sub; ok_q ] ->
+      Alcotest.(check bool)
+        "negative release is a structured invalid reply" true
+        (String.length bad > 8 && String.sub bad 0 8 = "1 error " );
+      Alcotest.(check bool) "invalid class named" true
+        (Helpers.contains bad "invalid");
+      Alcotest.(check string) "session unharmed" "2 ok submit tenant=t job=0" ok_sub;
+      Alcotest.(check string) "query works" "3 ok schedule tenant=t jobs=1 makespan=2 lb=2" ok_q
+  | _ -> Alcotest.failf "expected 4 replies, got %d" (List.length replies));
+  Alcotest.(check int) "exit code" 0 s.S.exit_code
+
+(* --- admission control / overload shedding --- *)
+
+let test_serve_overload () =
+  let cfg = { S.default with S.max_sessions = 2; max_jobs = 3; max_volume = 10 } in
+  let replies, s =
+    drive ~cfg
+      [
+        "open a"; "open b"; "open c";
+        "submit a 0 1 10"; "submit a 0 8 10";
+        "submit a 0 5 10"; (* volume 1+8=9, +5 > 10 *)
+        "submit a 0 1 10"; (* volume fits exactly: admitted *)
+        "submit a 0 1 10"; (* job budget (3) is now full *)
+        "query a";
+      ]
+  in
+  check_lines "overload transcript"
+    [
+      "0 ok open tenant=a m=4 scale=100";
+      "1 ok open tenant=b m=4 scale=100";
+      "2 overload sessions cap=2";
+      "3 ok submit tenant=a job=0";
+      "4 ok submit tenant=a job=1";
+      "5 overload volume tenant=a cap=10 held=9";
+      "6 ok submit tenant=a job=2";
+      "7 overload jobs tenant=a cap=3";
+      "8 ok schedule tenant=a jobs=3 makespan=8 lb=8";
+    ]
+    replies;
+  Alcotest.(check int) "overloads counted" 3 s.S.overloads;
+  Alcotest.(check int) "shed requests are not errors" 0 s.S.errors;
+  Alcotest.(check int) "exit code" 0 s.S.exit_code
+
+(* --- deadline degradation --- *)
+
+let test_serve_deadline_degrades () =
+  (* The config deadline is hopeless (1ns); a per-request deadline=100
+     override lets the first query land a good schedule, after which
+     deadline-struck queries degrade to it, marked stale. A tenant with
+     no last-good schedule gets a structured deadline error instead. *)
+  let cfg = { S.default with S.deadline = Some 1e-9 } in
+  let replies, s =
+    drive ~cfg
+      [
+        "open t m=2";
+        "submit t 0 2 50";
+        "query t deadline=100";
+        "submit t 0 3 60";
+        "query t";
+        "query t job=0";
+        "open u";
+        "submit u 0 2 50";
+        "query u";
+      ]
+  in
+  check_lines "deadline transcript"
+    [
+      "0 ok open tenant=t m=2 scale=100";
+      "1 ok submit tenant=t job=0";
+      "2 ok schedule tenant=t jobs=1 makespan=2 lb=2";
+      "3 ok submit tenant=t job=1";
+      "4 stale schedule tenant=t jobs=1 makespan=2";
+      "5 stale job tenant=t job=0 start=0";
+      "6 ok open tenant=u m=4 scale=100";
+      "7 ok submit tenant=u job=0";
+      "8 error deadline task exceeded its 1e-09s deadline";
+    ]
+    replies;
+  Alcotest.(check int) "stale replies" 2 s.S.stale;
+  Alcotest.(check int) "deadline error" 1 s.S.errors;
+  Alcotest.(check int) "exit code" 0 s.S.exit_code
+
+(* --- graceful drain --- *)
+
+let test_serve_drain () =
+  let replies, s =
+    drive
+      [
+        "open t"; "submit t 0 2 50"; "drain";
+        "open u"; "submit t 1 1 10"; (* mutations shed while draining *)
+        "query t"; "stats"; "close t"; (* reads and closes still answered *)
+      ]
+  in
+  check_lines "drain transcript"
+    [
+      "0 ok open tenant=t m=4 scale=100";
+      "1 ok submit tenant=t job=0";
+      "2 ok drain";
+      "3 reject draining";
+      "4 reject draining";
+      "5 ok schedule tenant=t jobs=1 makespan=2 lb=2";
+      "6 ok stats sessions=1 jobs=1 volume=2 draining=1";
+      "7 ok close tenant=t jobs=1";
+    ]
+    replies;
+  Alcotest.(check int) "drained exit is clean" 0 s.S.exit_code
+
+let test_serve_drain_flag_and_abort () =
+  (* The caller's should_drain (SIGTERM in sosctl) has the same effect as
+     the drain request; should_abort stops at a request boundary with
+     exit code 130, leaving later requests unanswered. *)
+  let replies, s =
+    drive
+      ~should_drain:(fun () -> true)
+      [ "open t"; "query missing"; "drain" ]
+  in
+  check_lines "drain flag"
+    [ "0 reject draining"; "1 error no-session tenant missing"; "2 ok drain" ]
+    replies;
+  Alcotest.(check int) "drain exit" 0 s.S.exit_code;
+  let handled = ref 0 in
+  let replies, s =
+    drive
+      ~should_abort:(fun () ->
+        incr handled;
+        !handled > 2)
+      [ "open t"; "open u"; "open v" ]
+  in
+  Alcotest.(check bool) "abort truncates the transcript" true (List.length replies < 3);
+  Alcotest.(check int) "abort exit" 130 s.S.exit_code
+
+(* --- WAL resume --- *)
+
+let with_temp_wal shards f =
+  let base = Filename.temp_file "servewal" ".j" in
+  Fun.protect
+    ~finally:(fun () ->
+      let rm p = try Sys.remove p with Sys_error _ -> () in
+      rm base;
+      for k = 0 to shards - 1 do
+        rm (Printf.sprintf "%s.%d" base k)
+      done)
+    (fun () -> f base)
+
+let resume_requests =
+  [
+    "open t m=2 scale=100";
+    "submit t 0 2 50";
+    "query t";
+    "submit t 5 3 60";
+    "query t job=1";
+    "stats";
+    "close t";
+  ]
+
+let test_serve_resume_byte_identity () =
+  let shards = 2 in
+  with_temp_wal shards @@ fun wal ->
+  let cfg = { S.default with S.checkpoint = Some wal; shards } in
+  let first, s1 = drive ~cfg resume_requests in
+  Alcotest.(check int) "first run clean" 0 s1.S.exit_code;
+  (* resume over the same re-driven input: every reply is answered
+     verbatim from the log, nothing is re-solved, bytes are identical *)
+  let cfg = { cfg with S.resume = true } in
+  let second, s2 = drive ~cfg resume_requests in
+  check_lines "byte-identical transcript" first second;
+  Alcotest.(check int) "everything replayed" (List.length resume_requests) s2.S.replayed;
+  Alcotest.(check int) "resume exit" 0 s2.S.exit_code;
+  (* state transitions were re-applied, not just echoed: the session table
+     reflects the close at the end of the journalled stream *)
+  Alcotest.(check int) "sessions after resume" 0 s2.S.sessions
+
+let test_serve_resume_tamper_detected () =
+  let shards = 1 in
+  with_temp_wal shards @@ fun wal ->
+  let cfg = { S.default with S.checkpoint = Some wal; shards } in
+  let _, s1 = drive ~cfg resume_requests in
+  Alcotest.(check int) "first run clean" 0 s1.S.exit_code;
+  (* re-drive with request 1 altered: the journalled digest no longer
+     matches, and answering with the old reply would be a lie — fail stop *)
+  let tampered =
+    List.mapi (fun i l -> if i = 1 then "submit t 0 9 50" else l) resume_requests
+  in
+  let cfg = { cfg with S.resume = true } in
+  let replies, s2 = drive ~cfg tampered in
+  (match replies with
+  | first :: second :: rest ->
+      Alcotest.(check string) "index 0 replays" "0 ok open tenant=t m=2 scale=100" first;
+      Alcotest.(check bool) "mismatch reported" true
+        (Helpers.contains second "resume-mismatch");
+      Alcotest.(check (list string)) "served nothing after the mismatch" [] rest
+  | _ -> Alcotest.fail "expected exactly two replies");
+  Alcotest.(check int) "fail-stop exit code" 4 s2.S.exit_code
+
+let test_serve_resume_header_binding () =
+  with_temp_wal 1 @@ fun wal ->
+  let cfg = { S.default with S.checkpoint = Some wal } in
+  let _, s1 = drive ~cfg [ "open t" ] in
+  Alcotest.(check int) "first run clean" 0 s1.S.exit_code;
+  (* the WAL header binds the admission caps: resuming under different
+     caps would replay replies another admission policy produced *)
+  let cfg = { cfg with S.resume = true; max_sessions = 7 } in
+  match S.create cfg with
+  | Error _ -> ()
+  | Ok srv ->
+      ignore (S.finish srv);
+      Alcotest.fail "resume under different caps must be refused"
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol parse + canonical" `Quick test_protocol_parse;
+      Alcotest.test_case "session flow transcript" `Quick test_serve_session_flow;
+      Alcotest.test_case "invalid submit is structured + survivable" `Quick
+        test_serve_invalid_submit;
+      Alcotest.test_case "overload shedding" `Quick test_serve_overload;
+      Alcotest.test_case "deadline degrades to last-good" `Quick
+        test_serve_deadline_degrades;
+      Alcotest.test_case "graceful drain" `Quick test_serve_drain;
+      Alcotest.test_case "drain flag + abort boundary" `Quick
+        test_serve_drain_flag_and_abort;
+      Alcotest.test_case "WAL resume byte-identity" `Quick test_serve_resume_byte_identity;
+      Alcotest.test_case "WAL tamper fail-stop" `Quick test_serve_resume_tamper_detected;
+      Alcotest.test_case "WAL header binds admission caps" `Quick
+        test_serve_resume_header_binding;
+    ] )

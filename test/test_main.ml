@@ -19,5 +19,6 @@ let () =
       Suite_engine.suite;
       Suite_obs.suite;
       Suite_robust.suite;
+      Suite_serve.suite;
       Suite_lint.suite;
     ]
