@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench examples doc clean outputs
+.PHONY: all build test lint analyze bench examples doc clean outputs
 
 all: build
 
@@ -15,6 +15,13 @@ test:
 # suppression-count increase versus tools/lint/allow_baseline.txt.
 lint:
 	dune build @lint
+
+# Whole-program analysis (passes A1-A4, doc/LINT.md): call-graph passes
+# for determinism taint, cancellation-poll coverage, domain safety, and
+# failure-taxonomy reachability, gated per pass against
+# tools/analysis/allow_baseline.txt.
+analyze:
+	dune build @analyze
 
 bench:
 	dune exec bench/main.exe

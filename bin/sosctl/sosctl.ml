@@ -750,9 +750,8 @@ let batch_cmd =
         (match Sos.Schedule.validate ~preemption_ok:preemptive sched with
         | Ok () -> ()
         | Error v ->
-            failwith
-              (Printf.sprintf "invalid schedule at step %d: %s" v.Sos.Schedule.at_step
-                 v.Sos.Schedule.reason));
+            Robust.Failure.internal_error "invalid schedule at step %d: %s"
+              v.Sos.Schedule.at_step v.Sos.Schedule.reason);
         Solved (label, inst, sched)
       in
       (* The checkpoint header binds the journal to one run configuration:

@@ -68,7 +68,7 @@ let run ?(strategy = Round_robin) inst =
   in
   while heads () <> [] do
     decr fuel;
-    if !fuel < 0 then failwith "Fixed_assignment.run: no progress (internal error)";
+    if !fuel < 0 then Robust.Failure.internal_error "Fixed_assignment.run: no progress";
     let shares = water_fill inst s budget (heads ()) in
     let allocs =
       List.filter_map

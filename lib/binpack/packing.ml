@@ -49,7 +49,9 @@ let validate inst packing =
       check_items 0
 
 let assert_valid inst packing =
-  match validate inst packing with Ok () -> () | Error msg -> failwith msg
+  match validate inst packing with
+  | Ok () -> ()
+  | Error msg -> Robust.Failure.internal_error "%s" msg
 
 let bins_used = List.length
 

@@ -70,9 +70,12 @@ let rec worker_loop t w dc =
 
 and worker_iteration t w dc =
   Mutex.lock t.lock;
-  while Queue.is_empty t.queue && not t.stop do
-    Condition.wait t.not_empty t.lock
-  done;
+  (while Queue.is_empty t.queue && not t.stop do
+     Condition.wait t.not_empty t.lock
+   done)
+  [@sos.allow
+    "A2: idle wait, not work; shutdown sets [stop] under the lock and broadcasts [not_empty], \
+     so the wait always wakes"];
   if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping, drained *)
   else begin
     let task = Queue.pop t.queue in
@@ -130,9 +133,13 @@ let submit t task =
      picked it up. *)
   let task =
     if Obs.Metrics.enabled () then begin
-      let enqueued = Prelude.Clock.now () in
+      let enqueued =
+        (Prelude.Clock.now () [@sos.allow "A1: runtime-class queue-wait sample; t_queue_wait is a runtime timer, never digested"])
+      in
       fun () ->
-        Obs.Metrics.observe t_queue_wait (Prelude.Clock.now () -. enqueued);
+        Obs.Metrics.observe t_queue_wait
+          ((Prelude.Clock.now () [@sos.allow "A1: runtime-class queue-wait sample; t_queue_wait is a runtime timer, never digested"])
+          -. enqueued);
         task ()
     end
     else task
@@ -218,9 +225,16 @@ let run_ordered_seq t ?(chunk = 1) ?window supply ~emit =
       if (not !exhausted) && window - inflight >= chunk then begin
         let obs = Obs.Metrics.enabled () in
         if obs then Obs.Hist.observe_int h_occupancy inflight;
-        let t0 = if obs then Prelude.Clock.now () else 0.0 in
+        let t0 =
+          if obs then
+            (Prelude.Clock.now () [@sos.allow "A1: runtime-class pull-latency sample; h_pull is a runtime histogram, never digested"])
+          else 0.0
+        in
         let thunks = pull chunk in
-        if obs then Obs.Hist.observe h_pull (Prelude.Clock.now () -. t0);
+        if obs then
+          Obs.Hist.observe h_pull
+            ((Prelude.Clock.now () [@sos.allow "A1: runtime-class pull-latency sample; h_pull is a runtime histogram, never digested"])
+            -. t0);
         let k = Array.length thunks in
         if k > 0 then begin
           let lo = !next_submit in

@@ -135,7 +135,7 @@ let optimum_packing ?(node_limit = 2_000_000) inst =
             let sizes = Array.of_list remaining in
             let candidates = shapes sizes k capacity in
             let rec pick = function
-              | [] -> failwith "Binpack_exact.optimum_packing: no optimal shape (bug)"
+              | [] -> Robust.Failure.internal_error "Binpack_exact.optimum_packing: no optimal shape"
               | shape :: rest_shapes ->
                   let rest = apply_shape remaining shape in
                   if 1 + solve rest (target - 1 + 1) = target then (shape, rest)

@@ -54,7 +54,11 @@ let acquire l = while not (Atomic.compare_and_set l false true) do () done
 let release l = Atomic.set l false
 
 let reg_lock = Atomic.make false
+
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+[@@sos.allow
+  "A3: the metric registry is the process-wide name table; every access is serialised by the \
+   [reg_lock] spinlock"]
 
 let register name mk =
   acquire reg_lock;
@@ -154,8 +158,15 @@ let observe t dt =
 let time t f =
   if not (Atomic.get on) then f ()
   else begin
-    let t0 = Prelude.Clock.now () in
-    Fun.protect ~finally:(fun () -> observe t (Prelude.Clock.now () -. t0)) f
+    let t0 =
+      (Prelude.Clock.now () [@sos.allow "A1: runtime-class timer read; durations land in timers/histograms, never in det-class metrics"])
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        observe t
+          ((Prelude.Clock.now () [@sos.allow "A1: runtime-class timer read; durations land in timers/histograms, never in det-class metrics"])
+          -. t0))
+      f
   end
 
 (* ----------------------------------------------------------- histograms *)

@@ -40,7 +40,9 @@ let vmhwm_kb () =
              else None)
 
 let create ?(interval = 2.0) ?total ?window_cap ?(out = to_stderr) () =
-  let now = Prelude.Clock.now () in
+  let now =
+    (Prelude.Clock.now () [@sos.allow "A1: progress heartbeats are runtime-class stderr visibility; never part of solver output or det-class telemetry"])
+  in
   {
     interval = (if interval < 0.0 then 0.0 else interval);
     total;
@@ -79,7 +81,9 @@ let format_final ~done_ ~total ~errors ~elapsed_s =
     errors elapsed_s rate
 
 let tick t ~done_ ~errors ?occupancy () =
-  let now = Prelude.Clock.now () in
+  let now =
+    (Prelude.Clock.now () [@sos.allow "A1: progress heartbeats are runtime-class stderr visibility; never part of solver output or det-class telemetry"])
+  in
   let dt = now -. t.last_t in
   if dt >= t.interval then begin
     let rate = if dt > 0.0 then float_of_int (done_ - t.last_done) /. dt else 0.0 in
@@ -104,7 +108,10 @@ let tick t ~done_ ~errors ?occupancy () =
   end
 
 let finish t ~done_ ~errors =
-  let elapsed_s = Prelude.Clock.now () -. t.started in
+  let elapsed_s =
+    (Prelude.Clock.now () [@sos.allow "A1: progress heartbeats are runtime-class stderr visibility; never part of solver output or det-class telemetry"])
+    -. t.started
+  in
   t.out (format_final ~done_ ~total:t.total ~errors ~elapsed_s ^ "\n");
   t.beats <- t.beats + 1
 

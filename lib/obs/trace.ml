@@ -25,8 +25,18 @@ type event = {
 let on = Atomic.make false
 let active () = Atomic.get on
 
+[@@@sos.allow
+"A3: the trace ring (epoch/buf/head/len/cap/dropped_n) is module-global by design and every \
+ mutation runs under the [lock] spinlock acquired below"]
+
 let lock = Atomic.make false
-let acquire () = while not (Atomic.compare_and_set lock false true) do () done
+
+let acquire () =
+  (while not (Atomic.compare_and_set lock false true) do
+     ()
+   done)
+  [@sos.allow "A2: bounded spinlock; holders run O(1) critical sections with no poll points"]
+
 let release () = Atomic.set lock false
 
 let epoch = ref 0.0
@@ -80,12 +90,16 @@ let dropped () =
 let start ?ring () =
   reset ();
   set_ring ring;
-  epoch := Prelude.Clock.now ();
+  epoch :=
+    (Prelude.Clock.now () [@sos.allow "A1: trace timestamps are wall-clock by definition; the Chrome trace is a runtime artefact, never digested"]);
   Atomic.set on true
 
 let stop () = Atomic.set on false
 
-let now_us () = (Prelude.Clock.now () -. !epoch) *. 1e6
+let now_us () =
+  ((Prelude.Clock.now () [@sos.allow "A1: trace timestamps are wall-clock by definition; the Chrome trace is a runtime artefact, never digested"])
+  -. !epoch)
+  *. 1e6
 
 let push e =
   acquire ();

@@ -10,11 +10,15 @@ let policy ?(base = 0.01) ?(cap = 1.0) ~seed () =
 let delay t ~index ~attempt =
   if attempt <= 0 then 0.0
   else begin
-    (* d doubles per attempt, saturating at cap; 2^62 guard keeps the
-       shift defined for absurd attempt counts. *)
+    (* d doubles per attempt, saturating at cap. The shift count is
+       capped before the [lsl] rather than special-cased after it: OCaml
+       ints carry 62 value bits, and base >= 1e-6 puts [base * 2^61]
+       beyond 2e12 seconds — past any finite cap a policy can mean — so
+       saturating the exponent at 61 keeps the shift defined for
+       unbounded attempt counts without changing any reachable delay. *)
     let d =
-      if attempt - 1 >= 62 then t.cap
-      else Float.min t.cap (t.base *. float_of_int (1 lsl (attempt - 1)))
+      let e = min (attempt - 1) 61 in
+      Float.min t.cap (t.base *. float_of_int (1 lsl e))
     in
     let rng = Prelude.Rng.create3 t.seed index attempt in
     (* Equal jitter: uniform in [d/2, d). *)

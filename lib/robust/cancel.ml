@@ -15,7 +15,13 @@ let create ?timeout ?parent () =
         "R6: token-construction argument contract; the Failure taxonomy describes task \
          outcomes, not misuse of the resilience API itself"])
   | _ -> ());
-  let deadline = Option.map (fun s -> Prelude.Clock.now () +. s) timeout in
+  let deadline =
+    Option.map
+      (fun s ->
+        (Prelude.Clock.now () [@sos.allow "A1: deadline arming reads the wall clock by design; cancellation timing never reaches solver output"])
+        +. s)
+      timeout
+  in
   { flag = Atomic.make false; timeout; deadline; parent }
 
 let cancel t = Atomic.set t.flag true
@@ -26,7 +32,9 @@ let rec cancelled t =
 let rec check t =
   if Atomic.get t.flag then raise Failure.Cancel_requested;
   (match t.deadline with
-  | Some d when Prelude.Clock.now () > d ->
+  | Some d
+    when (Prelude.Clock.now () [@sos.allow "A1: deadline check reads the wall clock by design; cancellation timing never reaches solver output"])
+         > d ->
       raise (Failure.Deadline (Option.value t.timeout ~default:0.0))
   | _ -> ());
   match t.parent with Some p -> check p | None -> ()

@@ -24,7 +24,11 @@ let disarm () = Atomic.set state None
 (* Out-of-scope probabilistic draws (the pool's worker site): one
    process-wide stream under a spinlock. Scheduling-dependent by design. *)
 let global_lock = Atomic.make false
+
 let global_rng : Prelude.Rng.t option ref = ref None
+[@@sos.allow
+  "A3: the out-of-scope chaos stream is process-wide and scheduling-dependent by design; \
+   guarded by the [global_lock] spinlock"]
 
 let global_draw seed =
   while not (Atomic.compare_and_set global_lock false true) do () done;

@@ -1,6 +1,10 @@
 (* Domain-local storage on OCaml >= 5.0. See tls.mli; the 4.x build
    substitutes tls_sequential.ml for this file. *)
 
+[@@@sos.allow
+"A1: Robust.Tls is the sanctioned DLS chokepoint; keys hold per-domain scratch (RNG splits, \
+ trace buffers) that is re-derived deterministically per task, never from domain identity"]
+
 type 'a key = 'a Domain.DLS.key
 
 let new_key init = Domain.DLS.new_key init

@@ -74,6 +74,7 @@ let run raw =
       consumed = a.Stream.amount }
   in
   let rec merge s1 s2 acc =
+    Robust.Context.poll ();
     match (s1, s2) with
     | [], [] -> List.rev acc
     | a1 :: r1', s2 ->

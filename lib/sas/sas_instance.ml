@@ -18,6 +18,7 @@ let partition t =
   (high, low)
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+[@@sos.allow "A2: Euclid's algorithm terminates in O(log min(a,b)) divisions; no poll needed"]
 
 let normalize_scale t =
   let want = 2 * (t.m - 1) in

@@ -36,9 +36,10 @@ let run ~m ~budget tasks =
   in
   let fuel = ref (total_work + (2 * k) + 4) in
   while !queue <> [] do
+    Robust.Context.poll ();
     incr t;
     decr fuel;
-    if !fuel < 0 then failwith "Stream.run: no progress (internal error)";
+    if !fuel < 0 then Robust.Failure.internal_error "Stream.run: no progress";
     let budget_left = ref budget in
     let procs_left = ref m in
     let step_allocs = ref [] in

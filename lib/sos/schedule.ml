@@ -142,9 +142,8 @@ let processor_assignment =
      match full_validate t with
      | Ok () -> ()
      | Error v ->
-         failwith
-           (Printf.sprintf "processor_assignment: invalid schedule at %d: %s" v.at_step
-              v.reason));
+         Robust.Failure.internal_error "processor_assignment: invalid schedule at %d: %s"
+           v.at_step v.reason);
   let inst = t.inst in
   let n = Instance.n inst in
   let proc_of = Array.make n (-1) in
@@ -159,7 +158,8 @@ let processor_assignment =
       List.iter
         (fun a ->
           if proc_of.(a.job) < 0 then begin
-            if Queue.is_empty free then failwith "processor_assignment: no free processor";
+            if Queue.is_empty free then
+              Robust.Failure.internal_error "processor_assignment: no free processor";
             let p = Queue.pop free in
             proc_of.(a.job) <- p;
             result := (a.job, p, t0) :: !result

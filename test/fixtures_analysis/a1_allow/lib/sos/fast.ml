@@ -1,0 +1,4 @@
+let helper2 () =
+  (Unix.gettimeofday () [@sos.allow "A1: fixture: sanctioned wall-clock read"])
+let helper () = helper2 ()
+let run inst = ignore inst; helper ()

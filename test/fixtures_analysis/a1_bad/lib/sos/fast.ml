@@ -1,0 +1,3 @@
+let helper2 () = Unix.gettimeofday ()
+let helper () = helper2 ()
+let run inst = ignore inst; helper ()

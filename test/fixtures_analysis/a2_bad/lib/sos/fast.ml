@@ -1,0 +1,4 @@
+let spin n =
+  let r = ref n in
+  while !r > 0 do decr r done
+let run inst = ignore inst; spin 9

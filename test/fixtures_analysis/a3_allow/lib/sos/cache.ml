@@ -1,0 +1,2 @@
+let hits = ref 0 [@@sos.allow "A3: fixture: guarded by a spinlock"]
+let bump () = incr hits

@@ -1,0 +1,2 @@
+let hits = ref 0
+let bump () = incr hits

@@ -1,0 +1,1 @@
+let worker () = Sos.Cache.bump ()

@@ -1,0 +1,2 @@
+let hits = Atomic.make 0
+let bump () = Atomic.incr hits

@@ -1,0 +1,1 @@
+let go () = failwith "boom" [@sos.allow "A4: fixture: prototype-only path"]

@@ -1,0 +1,1 @@
+let go () = failwith "boom"

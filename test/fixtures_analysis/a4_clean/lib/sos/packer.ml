@@ -1,0 +1,1 @@
+let go () = raise (Robust.Failure.Pool_down "drained")

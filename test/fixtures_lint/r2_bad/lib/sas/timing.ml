@@ -1,2 +1,7 @@
 (* fixture: R2 violation — wall-clock read outside Prelude.Clock *)
 let stamp () = Unix.gettimeofday ()
+
+(* and the alias evasion: [module U = Unix] must not launder the read *)
+module U = Unix
+
+let stamp2 () = U.time ()

@@ -602,6 +602,87 @@ let test_snapshot_parse () =
   Alcotest.(check (float 1e-9)) "hist max parsed exactly" 3.0
     (find "text" text "test.obs.parse.h.max").Snapshot.v
 
+(* The OpenMetrics exposition of a histogram is a cumulative bucket
+   family terminated by [_bucket{le="+Inf"}]; the parser must treat the
+   bucket series as shape (skip it) while still extracting the scalar
+   [_count]/[_sum] samples, and the [+Inf] bucket itself must equal the
+   total count — the exposition's own internal consistency. *)
+let test_snapshot_parse_prom_histogram () =
+  let h = Hist.create "test.obs.prom.h" in
+  with_recording (fun () -> List.iter (Hist.observe h) [ 0.5; 1.5; 2.5; 1e9 ]);
+  let om = Metrics.to_openmetrics () in
+  Alcotest.(check bool) "exposition has bucket series" true
+    (contains om "test_obs_prom_h_bucket{");
+  Alcotest.(check bool) "exposition has the +Inf terminal bucket" true
+    (contains om "test_obs_prom_h_bucket{class=\"det\",le=\"+Inf\"} 4");
+  let es = Snapshot.parse om in
+  Alcotest.(check bool) "bucket series skipped by the parser" true
+    (List.for_all (fun e -> not (contains e.Snapshot.key "_bucket")) es);
+  let find key =
+    match List.find_opt (fun e -> e.Snapshot.key = key) es with
+    | Some e -> e
+    | None -> Alcotest.failf "prom: key %S missing" key
+  in
+  let count = find "test_obs_prom_h_count" in
+  Alcotest.(check (float 0.0)) "histogram count parsed" 4.0 count.Snapshot.v;
+  Alcotest.(check (option string)) "histogram class label parsed" (Some "det")
+    count.Snapshot.cls;
+  (* The exposition renders floats with %.9g, so the 4.5 below the 1e9
+     observation is rounded away in transit; allow for that precision. *)
+  Alcotest.(check (float 16.0)) "histogram sum parsed" (0.5 +. 1.5 +. 2.5 +. 1e9)
+    (find "test_obs_prom_h_sum").Snapshot.v
+
+(* Timers render as OpenMetrics summaries with quantiles 0.5/0.95/1;
+   the quantile series is skipped as shape, the count/sum scalars are
+   kept, and everything is runtime-class. *)
+let test_snapshot_parse_prom_timer () =
+  let t = Metrics.timer "test.obs.prom.t" in
+  with_recording (fun () -> List.iter (Metrics.observe t) [ 0.010; 0.020; 0.030 ]);
+  let om = Metrics.to_openmetrics () in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) ("summary has quantile " ^ q) true
+        (contains om ("test_obs_prom_t{class=\"runtime\",quantile=\"" ^ q ^ "\"}")))
+    [ "0.5"; "0.95"; "1" ];
+  let es = Snapshot.parse om in
+  Alcotest.(check bool) "quantile series skipped by the parser" true
+    (List.for_all (fun e -> e.Snapshot.key <> "test_obs_prom_t") es);
+  let find key =
+    match List.find_opt (fun e -> e.Snapshot.key = key) es with
+    | Some e -> e
+    | None -> Alcotest.failf "prom: key %S missing" key
+  in
+  let count = find "test_obs_prom_t_count" in
+  Alcotest.(check (float 0.0)) "timer count parsed" 3.0 count.Snapshot.v;
+  Alcotest.(check (option string)) "timer class label parsed" (Some "runtime")
+    count.Snapshot.cls;
+  Alcotest.(check (float 1e-9)) "timer sum parsed" 0.060 (find "test_obs_prom_t_sum").Snapshot.v
+
+(* Round-trip against the JSON rendering of the same registry: modulo
+   name sanitization ([a.b.c] -> [a_b_c_total]/[a_b_c_count]), the prom
+   parse and the JSON parse must agree on every scalar they share. *)
+let test_snapshot_prom_json_roundtrip () =
+  let c = Metrics.counter "test.obs.rt.c" in
+  let h = Hist.create "test.obs.rt.h" in
+  with_recording (fun () ->
+      Metrics.add c 23;
+      List.iter (Hist.observe h) [ 1.0; 2.0; 4.0 ]);
+  let om = Snapshot.parse (Metrics.to_openmetrics ()) in
+  let js = Snapshot.parse (Metrics.snapshot_json ()) in
+  let find what es key =
+    match List.find_opt (fun e -> e.Snapshot.key = key) es with
+    | Some e -> e
+    | None -> Alcotest.failf "%s: key %S missing" what key
+  in
+  Alcotest.(check (float 0.0)) "counter prom = json" (find "json" js "test.obs.rt.c").Snapshot.v
+    (find "prom" om "test_obs_rt_c_total").Snapshot.v;
+  Alcotest.(check (float 0.0)) "hist count prom = json"
+    (find "json" js "test.obs.rt.h.count").Snapshot.v
+    (find "prom" om "test_obs_rt_h_count").Snapshot.v;
+  Alcotest.(check (option string)) "classes agree"
+    (find "json" js "test.obs.rt.c").Snapshot.cls
+    (find "prom" om "test_obs_rt_c_total").Snapshot.cls
+
 (* ------------------------------------------------- counter reconciliation *)
 
 (* Solve [inst] with counters on and check that the solver's unit counters
@@ -713,6 +794,11 @@ let suite =
       Alcotest.test_case "trace flow events" `Quick test_trace_flow;
       Alcotest.test_case "trace ring flat memory" `Quick test_trace_ring_flat_memory;
       Alcotest.test_case "snapshot parse roundtrip" `Quick test_snapshot_parse;
+      Alcotest.test_case "snapshot prom histogram (+Inf bucket)" `Quick
+        test_snapshot_parse_prom_histogram;
+      Alcotest.test_case "snapshot prom timer quantiles" `Quick test_snapshot_parse_prom_timer;
+      Alcotest.test_case "snapshot prom/json round-trip" `Quick
+        test_snapshot_prom_json_roundtrip;
       Alcotest.test_case "solver counters reconcile (pinned)" `Quick
         test_reconcile_pinned;
       Alcotest.test_case "solver counters reconcile (random)" `Quick

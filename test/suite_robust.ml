@@ -428,8 +428,14 @@ let test_task_deadline () =
   let tasks =
     [|
       (fun () ->
-        let stop = Unix.gettimeofday () +. 5.0 in
-        while Unix.gettimeofday () < stop do
+        let stop =
+          (Unix.gettimeofday () [@sos.allow "R2: deadline test must outlive real wall-clock time; Prelude.Clock is the unit under test's view, not the harness's"])
+          +. 5.0
+        in
+        while
+          (Unix.gettimeofday () [@sos.allow "R2: deadline test must outlive real wall-clock time; Prelude.Clock is the unit under test's view, not the harness's"])
+          < stop
+        do
           Robust.Context.poll ();
           Unix.sleepf 0.002
         done;
@@ -607,6 +613,8 @@ let test_backoff_policy () =
   (* the cap holds even for attempt counts that would overflow 2^(a-1) *)
   let d = delay p ~index:0 ~attempt:200 in
   Alcotest.(check bool) "capped at huge attempts" true (d >= 0.5 && d < 1.0);
+  let d = delay p ~index:0 ~attempt:10_000 in
+  Alcotest.(check bool) "capped at attempt 10000" true (d >= 0.5 && d < 1.0);
   Alcotest.(check bool) "attempt 0 is free" true (delay p ~index:0 ~attempt:0 = 0.0);
   (* per-index jitter decorrelates retry storms *)
   Alcotest.(check bool)
@@ -618,6 +626,26 @@ let test_backoff_policy () =
   let q = policy ~base:(-1.0) ~cap:0.0 ~seed:0 () in
   let d = delay q ~index:0 ~attempt:1 in
   Alcotest.(check bool) "clamped policy stays finite" true (d >= 0.0 && d < 1e-5)
+
+(* Property form of the band above, pushed to attempt counts that
+   overflow a naive [1 lsl (attempt - 1)]: for any policy and any
+   attempt up to 10000, the delay is finite, deterministic, and inside
+   the equal-jitter band [d/2, d) with d = min cap (base * 2^(a-1))
+   computed in float arithmetic (where the power overflows to infinity
+   and the min saturates at cap). *)
+let test_backoff_jitter_band =
+  Helpers.qcheck ~count:500 "backoff: equal-jitter band holds to attempt 10000"
+    QCheck.(
+      quad (int_bound 9999) (int_bound 999) (int_range 1 10_000)
+        (pair (float_range 1e-5 0.5) (float_range 0.6 50.0)))
+    (fun (seed, index, attempt, (base, cap)) ->
+      let p = Robust.Backoff.policy ~base ~cap ~seed () in
+      let d = Robust.Backoff.delay p ~index ~attempt in
+      let ideal = Float.min cap (base *. (2.0 ** float_of_int (attempt - 1))) in
+      Float.is_finite d
+      && d >= ideal /. 2.0
+      && d < ideal
+      && d = Robust.Backoff.delay p ~index ~attempt)
 
 let test_supervise_restarts () =
   let backoff = Robust.Backoff.policy ~base:1e-6 ~seed:1 () in
@@ -680,6 +708,7 @@ let suite =
         test_sharded_out_of_order_replay;
       Alcotest.test_case "backoff policy: jitter band, cap, determinism" `Quick
         test_backoff_policy;
+      test_backoff_jitter_band;
       Alcotest.test_case "supervise restarts transient failures" `Quick
         test_supervise_restarts;
       Alcotest.test_case "retry recovers deterministically" `Quick test_retry_recovers;

@@ -90,10 +90,11 @@ let test_stream_conservation () =
            let left = Hashtbl.find expect key - a.Stream.amount in
            Hashtbl.replace expect key left))
       r.Stream.steps;
-    Hashtbl.iter
-      (fun (t, i) left ->
-        if left <> 0 then Alcotest.failf "seed %d: task %d item %d left %d" seed t i left)
-      expect;
+    (Hashtbl.iter
+       (fun (t, i) left ->
+         if left <> 0 then Alcotest.failf "seed %d: task %d item %d left %d" seed t i left)
+       expect
+    [@sos.allow "R5: order-free universal assertion over all entries; nothing is emitted or digested"]);
     (* Completion times match the last allocation step of each task. *)
     List.iteri
       (fun pos _ ->

@@ -21,4 +21,5 @@ let () =
       Suite_robust.suite;
       Suite_serve.suite;
       Suite_lint.suite;
+      Suite_analysis.suite;
     ]

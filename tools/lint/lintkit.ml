@@ -1,0 +1,159 @@
+(* Lintkit — the frontend shared by the repo's static-analysis tools.
+
+   Both soslint (per-file syntactic rules R1-R7, PR 5) and sosgraph
+   (whole-program passes A1-A4, tools/analysis/) parse the same source
+   tree with ppxlib, honour the same [@sos.allow "Xn: reason"]
+   suppression attribute, and gate suppression counts against a
+   committed per-rule baseline. This module holds that common ground:
+   deterministic file discovery, parsing, the allow-payload grammar,
+   JSON escaping, and the baseline read/write/check cycle. Everything
+   here is machine-independent: relative paths use '/' and every listing
+   a tool derives from these helpers sorts identically on any host. *)
+
+open Ppxlib
+
+(* ------------------------------------------------------------- strings *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- file IO *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Every .ml/.mli under [rel], as root-relative '/'-separated paths.
+   Dotfiles and _build are skipped so the walk is independent of build
+   state; the caller sorts the combined list. *)
+let rec walk ~root rel acc =
+  let path = if rel = "" then root else Filename.concat root rel in
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else walk ~root (if rel = "" then entry else rel ^ "/" ^ entry) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli" then rel :: acc
+  else acc
+
+(* Collect the scan set: [dirs] that exist under [root], minus exact
+   [excludes] and minus anything under an [exclude_dirs] prefix (fixture
+   mini-repos inside test/ carry intentional violations). *)
+let scan_files ~root ~dirs ~excludes ~exclude_dirs =
+  let under_excluded rel =
+    List.exists (fun d -> starts_with ~prefix:(d ^ "/") rel || rel = d) exclude_dirs
+  in
+  dirs
+  |> List.concat_map (fun d ->
+         if Sys.file_exists (Filename.concat root d) then walk ~root d [] else [])
+  |> List.filter (fun rel -> not (List.mem rel excludes) && not (under_excluded rel))
+  |> List.sort_uniq compare
+
+type parsed = Impl of structure | Intf of signature
+
+(* Parse one file; [Error msg] on a syntax error (the tools report these
+   collectively and exit 2 — an unparsable tree must fail the gate, not
+   silently shrink the scan). *)
+let parse_file ~root rel =
+  let src = read_file (Filename.concat root rel) in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf rel;
+  try
+    if Filename.check_suffix rel ".mli" then Ok (Intf (Parse.interface lexbuf))
+    else Ok (Impl (Parse.implementation lexbuf))
+  with exn -> Error (Printf.sprintf "%s: parse error: %s" rel (Printexc.to_string exn))
+
+(* ------------------------------------------------------------ longident *)
+
+let flatten lid =
+  match Longident.flatten_exn lid with
+  | "Stdlib" :: rest -> rest
+  | parts -> parts
+
+(* ------------------------------------------------- [@sos.allow] grammar *)
+
+(* [@sos.allow "Xn: reason"] — exactly one rule id from the tool's
+   vocabulary, nonempty reason. [valid_ids] is the tool's rule set and
+   [expected] names it in diagnostics ("R1..R7", "A1..A4"). *)
+let parse_allow_payload ~valid_ids ~expected s =
+  let s = String.trim s in
+  match String.index_opt s ':' with
+  | None -> Error "missing ':' — expected \"Rn: reason\""
+  | Some i ->
+      let id = String.trim (String.sub s 0 i) in
+      let reason = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      if not (List.mem id valid_ids) then
+        Error (Printf.sprintf "unknown rule id %S — expected %s" id expected)
+      else if reason = "" then Error "empty reason"
+      else Ok (id, reason)
+
+(* Classify an attribute: [None] when it is not [sos.allow] at all;
+   [Some (Ok s)] for a well-shaped string payload (still to be parsed
+   against the rule vocabulary); [Some (Error msg)] for a malformed
+   payload shape. *)
+let allow_attr_payload (a : attribute) : (string, string) result option =
+  if a.attr_name.txt <> "sos.allow" then None
+  else
+    match a.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        Some (Ok s)
+    | _ -> Some (Error "payload must be a string literal \"Rn: reason\"")
+
+(* ------------------------------------------------------------ baseline *)
+
+(* The baseline file is one "<id> <count>" row per rule: the number of
+   suppressed hits the repo is allowed to carry. A scan may come in
+   under the baseline (suppressions were removed — ratchet down by
+   regenerating) but never over it. *)
+
+let write_baseline path counts =
+  let oc = open_out path in
+  List.iter (fun (id, n) -> Printf.fprintf oc "%s %d\n" id n) counts;
+  close_out oc
+
+let check_baseline ~hint path counts =
+  let ic = open_in path in
+  let table = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then Scanf.sscanf line "%s %d" (fun id n -> Hashtbl.replace table id n)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.filter_map
+    (fun (id, n) ->
+      let allowed = Option.value ~default:0 (Hashtbl.find_opt table id) in
+      if n > allowed then
+        Some
+          (Printf.sprintf
+             "%s: %d suppressed hits exceed the committed baseline of %d (%s: update the \
+              baseline only with a reviewed reason)"
+             id n allowed hint)
+      else None)
+    counts

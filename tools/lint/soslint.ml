@@ -21,6 +21,15 @@
 
 open Ppxlib
 
+(* The ppxlib frontend (file walk, parsing, [@sos.allow] payload grammar,
+   JSON escaping, baseline cycle) lives in Lintkit and is shared with
+   sosgraph (tools/analysis/), the whole-program companion to this
+   per-file pass. *)
+
+let starts_with = Lintkit.starts_with
+let json_escape = Lintkit.json_escape
+let flatten = Lintkit.flatten
+
 (* ------------------------------------------------------------ rule set *)
 
 let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
@@ -37,10 +46,6 @@ let rule_title = function
 
 (* Path helpers. Relative paths always use '/' and are relative to
    --root, so rule scoping and output are machine-independent. *)
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
 
 let in_lib rel = starts_with ~prefix:"lib/" rel
 
@@ -119,59 +124,76 @@ let add_hit ~rel ~loc ~rule ~msg ~active =
    Anything else under the sos.allow name is itself reported (rule R0)
    so a typo cannot silently suppress nothing. *)
 
-let parse_allow_payload s =
-  let s = String.trim s in
-  match String.index_opt s ':' with
-  | None -> Error "missing ':' — expected \"Rn: reason\""
-  | Some i ->
-      let id = String.trim (String.sub s 0 i) in
-      let reason = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
-      if not (List.mem id rule_ids) then
-        Error (Printf.sprintf "unknown rule id %S — expected R1..R7" id)
-      else if reason = "" then Error "empty reason"
-      else Ok (id, reason)
-
 let allow_of_attribute ~rel (a : attribute) : allow_site option =
-  if a.attr_name.txt <> "sos.allow" then None
-  else
-    let loc = a.attr_loc in
-    let bad msg =
-      add_hit ~rel ~loc ~rule:"R0"
-        ~msg:(Printf.sprintf "malformed [@sos.allow]: %s" msg)
-        ~active:[];
-      None
-    in
-    match a.attr_payload with
-    | PStr
-        [
-          {
-            pstr_desc =
-              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-            _;
-          };
-        ] -> (
-        match parse_allow_payload s with
-        | Ok (id, reason) ->
-            let site =
-              {
-                a_file = rel;
-                a_line = loc.loc_start.pos_lnum;
-                a_rule = id;
-                a_reason = reason;
-                a_uses = 0;
-              }
-            in
-            allows := site :: !allows;
-            Some site
-        | Error msg -> bad msg)
-    | _ -> bad "payload must be a string literal \"Rn: reason\""
+  let loc = a.attr_loc in
+  let bad msg =
+    add_hit ~rel ~loc ~rule:"R0"
+      ~msg:(Printf.sprintf "malformed [@sos.allow]: %s" msg)
+      ~active:[];
+    None
+  in
+  match Lintkit.allow_attr_payload a with
+  | None -> None
+  | Some (Error msg) -> bad msg
+  | Some (Ok s) -> (
+      match Lintkit.parse_allow_payload ~valid_ids:rule_ids ~expected:"R1..R7" s with
+      | Ok (id, reason) ->
+          let site =
+            {
+              a_file = rel;
+              a_line = loc.loc_start.pos_lnum;
+              a_rule = id;
+              a_reason = reason;
+              a_uses = 0;
+            }
+          in
+          allows := site :: !allows;
+          Some site
+      | Error msg -> (
+          (* An A-pass payload belongs to sosgraph (tools/analysis) and
+             is not ours to police; only a payload neither tool
+             recognises is malformed from soslint's side. *)
+          match
+            Lintkit.parse_allow_payload ~valid_ids:[ "A1"; "A2"; "A3"; "A4" ]
+              ~expected:"A1..A4" s
+          with
+          | Ok _ -> None
+          | Error _ -> bad msg))
 
 (* --------------------------------------------------- syntactic checks *)
 
-let flatten lid =
-  match Longident.flatten_exn lid with
-  | "Stdlib" :: rest -> rest
-  | parts -> parts
+(* Module aliases: [module U = Unix] lets [U.time ()] evade a path match,
+   so every file's alias bindings are collected up front (including inside
+   nested modules — parse-only, no scoping subtleties honoured) and ident
+   paths are expanded through them before rule matching. Chains
+   ([module A = U]) resolve through a bounded walk. *)
+
+let collect_aliases st =
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! module_binding mb =
+        (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+        | Some name, Pmod_ident { txt; _ } -> Hashtbl.replace aliases name (flatten txt)
+        | _ -> ());
+        super#module_binding mb
+    end
+  in
+  iter#structure st;
+  aliases
+
+let expand_aliases aliases parts =
+  let rec go fuel parts =
+    match parts with
+    | head :: rest when fuel > 0 -> (
+        match Hashtbl.find_opt aliases head with
+        | Some target when target <> parts -> go (fuel - 1) (target @ rest)
+        | _ -> parts)
+    | _ -> parts
+  in
+  go 8 parts
 
 let ident_rule parts =
   match parts with
@@ -263,6 +285,7 @@ let poly_cmp_ops = [ "="; "<>"; "compare"; "min"; "max" ]
 (* ------------------------------------------------------- the traversal *)
 
 let lint_structure ~rel st =
+  let aliases = collect_aliases st in
   let floor_allows =
     List.filter_map
       (function
@@ -288,8 +311,15 @@ let lint_structure ~rel st =
       method check_expr e =
         (match e.pexp_desc with
         | Pexp_ident { txt; loc } -> (
-            match ident_rule (flatten txt) with
-            | Some (rule, msg) -> self#hit loc rule msg
+            let parts = flatten txt in
+            let expanded = expand_aliases aliases parts in
+            match ident_rule expanded with
+            | Some (rule, msg) ->
+                let msg =
+                  if expanded == parts then msg
+                  else Printf.sprintf "%s (via module alias %s)" msg (List.hd parts)
+                in
+                self#hit loc rule msg
             | None -> ())
         | Pexp_apply
             ( { pexp_desc = Pexp_ident { txt = Lident "raise"; _ }; _ },
@@ -380,52 +410,16 @@ let lint_signature ~rel sg =
 
 (* ------------------------------------------------------------ file IO *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let lint_file ~root rel =
-  let path = Filename.concat root rel in
-  let src = read_file path in
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf rel;
-  try
-    if Filename.check_suffix rel ".mli" then lint_signature ~rel (Parse.interface lexbuf)
-    else lint_structure ~rel (Parse.implementation lexbuf)
-  with exn ->
-    parse_errors := Printf.sprintf "%s: parse error: %s" rel (Printexc.to_string exn) :: !parse_errors
-
-let rec walk ~root rel acc =
-  let path = if rel = "" then root else Filename.concat root rel in
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
-        else walk ~root (if rel = "" then entry else rel ^ "/" ^ entry) acc)
-      acc (Sys.readdir path)
-  else if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli" then rel :: acc
-  else acc
+  match Lintkit.parse_file ~root rel with
+  | Ok (Lintkit.Impl st) -> lint_structure ~rel st
+  | Ok (Lintkit.Intf sg) -> lint_signature ~rel sg
+  | Error msg -> parse_errors := msg :: !parse_errors
 
 (* ------------------------------------------------------------- output *)
 
 let by_rule xs keyf =
   List.map (fun id -> (id, List.length (List.filter (fun x -> keyf x = id) xs))) rule_ids
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 let json_summary ~files ~open_hits ~suppressed =
   let buf = Buffer.create 2048 in
@@ -466,40 +460,16 @@ let json_summary ~files ~open_hits ~suppressed =
 
 let baseline_counts suppressed = by_rule suppressed (fun h -> h.h_rule)
 
-let write_baseline path suppressed =
-  let oc = open_out path in
-  List.iter (fun (id, n) -> Printf.fprintf oc "%s %d\n" id n) (baseline_counts suppressed);
-  close_out oc
+let write_baseline path suppressed = Lintkit.write_baseline path (baseline_counts suppressed)
 
 let check_baseline path suppressed =
-  let ic = open_in path in
-  let table = Hashtbl.create 8 in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       if line <> "" then
-         Scanf.sscanf line "%s %d" (fun id n -> Hashtbl.replace table id n)
-     done
-   with End_of_file -> ());
-  close_in ic;
-  let failures =
-    List.filter_map
-      (fun (id, n) ->
-        let allowed = Option.value ~default:0 (Hashtbl.find_opt table id) in
-        if n > allowed then
-          Some
-            (Printf.sprintf
-               "%s: %d suppressed hits exceed the committed baseline of %d (tools/lint: update \
-                the baseline only with a reviewed reason)"
-               id n allowed)
-        else None)
-      (baseline_counts suppressed)
-  in
-  failures
+  Lintkit.check_baseline ~hint:"tools/lint" path (baseline_counts suppressed)
 
 (* --------------------------------------------------------------- main *)
 
-let usage = "soslint [--root DIR] [--json PATH] [--baseline PATH] [--write-baseline PATH] [--exclude REL]... [DIR]..."
+let usage =
+  "soslint [--root DIR] [--json PATH] [--baseline PATH] [--write-baseline PATH] [--exclude \
+   REL]... [--exclude-dir REL]... [DIR]..."
 
 let () =
   let root = ref "." in
@@ -507,6 +477,7 @@ let () =
   let baseline = ref None in
   let write_base = ref None in
   let excludes = ref [] in
+  let exclude_dirs = ref [] in
   let dirs = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -525,6 +496,9 @@ let () =
     | "--exclude" :: v :: rest ->
         excludes := v :: !excludes;
         parse_args rest
+    | "--exclude-dir" :: v :: rest ->
+        exclude_dirs := v :: !exclude_dirs;
+        parse_args rest
     | ("--help" | "-h") :: _ ->
         print_endline usage;
         exit 0
@@ -539,12 +513,7 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let dirs = if !dirs = [] then [ "lib"; "bin"; "bench" ] else List.rev !dirs in
   let files =
-    dirs
-    |> List.concat_map (fun d ->
-           if Sys.file_exists (Filename.concat !root d) then walk ~root:!root d []
-           else [])
-    |> List.filter (fun rel -> not (List.mem rel !excludes))
-    |> List.sort_uniq compare
+    Lintkit.scan_files ~root:!root ~dirs ~excludes:!excludes ~exclude_dirs:!exclude_dirs
   in
   List.iter (lint_file ~root:!root) files;
   (match !parse_errors with
